@@ -1,0 +1,163 @@
+// Command asetsbench regenerates the tables and figures of "Adaptive
+// Scheduling of Web Transactions" (ICDE 2009) at full paper scale: 1000
+// transactions per workload, five seeded runs per data point, full
+// utilization sweeps.
+//
+// Usage:
+//
+//	asetsbench                         # run every experiment
+//	asetsbench -figure fig10           # run one (fig8..fig17, tab1, alpha, abl-rule, abl-count)
+//	asetsbench -figure fig14 -chart    # add an ASCII chart of the series
+//	asetsbench -csv out/               # also write one CSV per figure
+//	asetsbench -n 500 -seeds 3         # scale down for a quick look
+//	asetsbench -list                   # list experiment IDs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "experiment id to run, or 'all'")
+		n        = flag.Int("n", 1000, "transactions per workload (paper: 1000)")
+		seeds    = flag.Int("seeds", 5, "seeded runs per data point (paper: 5)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		validate = flag.Bool("validate", false, "validate every schedule against the trace checker")
+		chart    = flag.Bool("chart", false, "render an ASCII chart under each table")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		svgDir   = flag.String("svg", "", "directory to write per-figure SVG charts into")
+		jsonDir  = flag.String("json", "", "directory to write per-figure JSON results into")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		N:           *n,
+		Parallelism: *parallel,
+		Validate:    *validate,
+		Seeds:       experiments.DefaultSeeds,
+	}
+	if *seeds < len(opts.Seeds) {
+		opts.Seeds = opts.Seeds[:*seeds]
+	} else if *seeds > len(opts.Seeds) {
+		base := experiments.DefaultSeeds[0]
+		for i := len(opts.Seeds); i < *seeds; i++ {
+			opts.Seeds = append(opts.Seeds, base+uint64(i)*0x9e3779b97f4a7c15)
+		}
+	}
+
+	ids := experiments.IDs()
+	if *figure != "all" {
+		if _, ok := experiments.Registry[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "asetsbench: unknown experiment %q (use -list)\n", *figure)
+			os.Exit(2)
+		}
+		ids = []string{*figure}
+	}
+
+	for _, dir := range []string{*csvDir, *svgDir, *jsonDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		res, err := experiments.Registry[id](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.Figure.Table())
+		fmt.Printf("paper:    %s\n", res.PaperClaim)
+		for _, obs := range res.Observations {
+			fmt.Printf("measured: %s\n", obs)
+		}
+		if *chart {
+			fmt.Println()
+			fmt.Println(res.Figure.Chart(64, 14))
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(res.Figure.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "asetsbench: writing %s: %v\n", path, err)
+				failed = true
+			}
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, id+".json")
+			doc, err := json.MarshalIndent(struct {
+				ID           string               `json:"id"`
+				Title        string               `json:"title"`
+				XLabel       string               `json:"x_label"`
+				YLabel       string               `json:"y_label"`
+				X            []float64            `json:"x"`
+				Series       map[string][]float64 `json:"series"`
+				PaperClaim   string               `json:"paper_claim"`
+				Observations []string             `json:"observations"`
+			}{
+				ID:           res.Figure.ID,
+				Title:        res.Figure.Title,
+				XLabel:       res.Figure.XLabel,
+				YLabel:       res.Figure.YLabel,
+				X:            res.Figure.X,
+				Series:       seriesMap(res.Figure),
+				PaperClaim:   res.PaperClaim,
+				Observations: res.Observations,
+			}, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, doc, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "asetsbench: writing %s: %v\n", path, err)
+				failed = true
+			}
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, id+".svg")
+			var buf strings.Builder
+			if err := svgplot.Render(&buf, res.Figure, svgplot.Options{}); err != nil {
+				fmt.Fprintf(os.Stderr, "asetsbench: rendering %s: %v\n", path, err)
+				failed = true
+			} else if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "asetsbench: writing %s: %v\n", path, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// seriesMap flattens a figure's series for JSON output.
+func seriesMap(fig *report.Figure) map[string][]float64 {
+	out := make(map[string][]float64, len(fig.Series))
+	for _, s := range fig.Series {
+		out[s.Name] = s.Y
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Command asetssim runs a single simulation of a generated (or loaded)
+// workload under one scheduling policy and prints the performance summary —
+// the interactive counterpart to asetsbench's full sweeps.
+//
+// Usage:
+//
+//	asetssim -policy asets -util 0.8
+//	asetssim -policy edf -util 0.6 -kmax 1 -alpha 0.9 -seed 7
+//	asetssim -policy asets -wf-len 5 -weights -trace
+//	asetssim -policy ready -load workload.json
+//	asetssim -compare -util 0.9           # run every policy on one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// policies maps CLI names to scheduler factories.
+var policies = map[string]func() sched.Scheduler{
+	"fcfs":  sched.NewFCFS,
+	"edf":   sched.NewEDF,
+	"srpt":  sched.NewSRPT,
+	"ls":    sched.NewLS,
+	"hdf":   sched.NewHDF,
+	"hvf":   sched.NewHVF,
+	"mix":   func() sched.Scheduler { return sched.NewMIX(0.5) },
+	"asets": func() sched.Scheduler { return core.New() },
+	"ready": func() sched.Scheduler { return core.NewReady() },
+	"asets-sym": func() sched.Scheduler {
+		return core.New(core.WithRule(core.RuleSymmetric), core.WithName("ASETS*(sym)"))
+	},
+}
+
+func policyNames() string {
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func main() {
+	var (
+		policy   = flag.String("policy", "asets", "policy: "+policyNames())
+		balTime  = flag.Float64("bal-time", 0, "balance-aware time activation rate (asets only)")
+		balCount = flag.Float64("bal-count", 0, "balance-aware count activation rate (asets only)")
+		util     = flag.Float64("util", 0.8, "target system utilization")
+		n        = flag.Int("n", 1000, "number of transactions")
+		kmax     = flag.Float64("kmax", 3.0, "max slack factor")
+		alpha    = flag.Float64("alpha", 0.5, "zipf skew of transaction lengths")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		wfLen    = flag.Int("wf-len", 1, "max workflow length (1 = independent)")
+		wfMem    = flag.Int("wf-membership", 1, "max workflows per transaction")
+		weights  = flag.Bool("weights", false, "draw weights from [1, 10]")
+		batch    = flag.Bool("batch", false, "submit workflow members together (Section II-B reading)")
+		random   = flag.Bool("random-order", false, "randomize precedence order within chains")
+		load     = flag.String("load", "", "load workload JSON instead of generating")
+		save     = flag.String("save", "", "save the generated workload JSON to this path")
+		doTrace  = flag.Bool("trace", false, "record, validate and summarize the schedule")
+		analyze  = flag.Bool("analyze", false, "print class breakdowns, wait decomposition and tardiness histogram (implies -trace)")
+		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (small workloads only; implies -trace)")
+		compare  = flag.Bool("compare", false, "run every policy on the same workload")
+		servers  = flag.Int("servers", 1, "number of identical backend servers")
+		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
+		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
+	)
+	flag.Parse()
+
+	if *users > 0 {
+		runClosedLoop(*users, *util, *seed, *policy, *patience)
+		return
+	}
+
+	set, cfg, err := buildWorkload(*load, *n, *util, *kmax, *alpha, *seed, *wfLen, *wfMem, *weights, *batch, *random)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err == nil {
+			err = workload.WriteJSON(f, set, cfg)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: saving workload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	wantTrace := *doTrace || *analyze || *gantt
+
+	if *compare {
+		names := make([]string, 0, len(policies))
+		for name := range policies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			runOne(set, policies[name](), *servers, wantTrace, *analyze, *gantt)
+		}
+		return
+	}
+
+	factory, ok := policies[*policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asetssim: unknown policy %q (choose from %s)\n", *policy, policyNames())
+		os.Exit(2)
+	}
+	s := factory()
+	if *balTime > 0 {
+		s = core.New(core.WithTimeActivation(*balTime))
+	}
+	if *balCount > 0 {
+		s = core.New(core.WithCountActivation(*balCount))
+	}
+	runOne(set, s, *servers, wantTrace, *analyze, *gantt)
+}
+
+func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
+	wfLen, wfMem int, weights, batch, random bool) (*txn.Set, *workload.Config, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		set, cfg, err := workload.ReadJSON(f)
+		return set, cfg, err
+	}
+	cfg := workload.Default(util, seed)
+	cfg.N = n
+	cfg.KMax = kmax
+	cfg.Alpha = alpha
+	if wfLen > 1 {
+		cfg = cfg.WithWorkflows(wfLen, wfMem)
+	}
+	if weights {
+		cfg = cfg.WithWeights()
+	}
+	if batch {
+		cfg.Arrivals = workload.ArrivalsBatch
+	}
+	if random {
+		cfg.Order = workload.OrderRandom
+	}
+	set, err := workload.Generate(cfg)
+	return set, &cfg, err
+}
+
+func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool) {
+	var rec *trace.Recorder
+	opts := sim.Options{Servers: servers}
+	if doTrace {
+		rec = &trace.Recorder{}
+		opts.Recorder = rec
+	}
+	summary, err := sim.Run(set, s, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetssim: %s: %v\n", s.Name(), err)
+		os.Exit(1)
+	}
+	printSummary(s.Name(), summary)
+	if rec != nil {
+		if err := rec.ValidateN(set, servers); err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: %s: INVALID SCHEDULE: %v\n", s.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("  schedule: %d slices, %d preemptions, validated OK\n",
+			len(rec.Slices), rec.Preemptions(set))
+	}
+	if analyze {
+		printAnalysis(set, rec)
+	}
+	if gantt {
+		fmt.Print(analysis.Gantt(set, rec, 100))
+	}
+}
+
+// printAnalysis renders the post-run diagnostics: per-class tardiness, the
+// dependency/queueing/service wait decomposition, busy-period structure and
+// a tardiness histogram.
+func printAnalysis(set *txn.Set, rec *trace.Recorder) {
+	fmt.Println("  class breakdown:")
+	for _, c := range analysis.ByDependency(set) {
+		fmt.Printf("    %-12s n=%-5d avgTard=%-9.3f maxTard=%-9.3f miss=%.1f%%\n",
+			c.Class, c.N, c.AvgTardiness, c.MaxTardiness, 100*c.MissRatio)
+	}
+	dep, q, svc := analysis.SummarizeWaits(analysis.Waits(set, rec))
+	fmt.Printf("  mean response decomposition: depWait=%.3f queueing=%.3f service=%.3f\n", dep, q, svc)
+	periods := analysis.Periods(rec)
+	busy := 0
+	for _, p := range periods {
+		if p.Busy {
+			busy++
+		}
+	}
+	fmt.Printf("  busy periods: %d (of %d periods)\n", busy, len(periods))
+	h := metrics.NewHistogram(2)
+	for _, t := range set.Txns {
+		h.Add(t.Tardiness())
+	}
+	fmt.Println("  tardiness histogram:")
+	for _, line := range strings.Split(strings.TrimRight(h.String(), "\n"), "\n") {
+		fmt.Println("    " + line)
+	}
+}
+
+func printSummary(name string, s *metrics.Summary) {
+	fmt.Printf("%-22s avgTard=%-10.3f avgWTard=%-10.3f maxWTard=%-10.3f miss=%5.1f%%  resp=%-9.3f p95=%-9.3f util=%.3f\n",
+		name, s.AvgTardiness, s.AvgWeightedTardiness, s.MaxWeightedTardiness,
+		100*s.MissRatio, s.AvgResponseTime, s.TardinessP95, s.Utilization)
+}
+
+// runClosedLoop simulates interactive sessions (the introduction's users)
+// and prints per-policy page statistics.
+func runClosedLoop(users int, util float64, seed uint64, policy string, patience float64) {
+	factory, ok := policies[policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asetssim: unknown policy %q\n", policy)
+		os.Exit(2)
+	}
+	cfg := workload.DefaultSessions(users, util, seed)
+	set, sessions, err := workload.GenerateSessions(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := sim.RunClosedLoop(set, sessions, factory(), patience)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+		os.Exit(1)
+	}
+	pages := 0
+	var sumLat, maxLat float64
+	for _, sess := range res.PageLatencies {
+		for _, lat := range sess {
+			pages++
+			sumLat += lat
+			if lat > maxLat {
+				maxLat = lat
+			}
+		}
+	}
+	fmt.Printf("%-12s users=%d pages=%d avgPageLat=%.2f maxPageLat=%.2f avgTard=%.3f abandon=%.1f%%\n",
+		factory().Name(), users, pages, sumLat/float64(pages), maxLat,
+		res.Summary.AvgTardiness, 100*res.AbandonRate)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestBuildWorkloadGenerated(t *testing.T) {
+	set, cfg, err := buildWorkload("", 200, 0.8, 3, 0.5, 7, 5, 2, true, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 200 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if cfg == nil || cfg.Seed != 7 || cfg.MaxWorkflowLength != 5 || cfg.WeightMax != 10 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Arrivals != workload.ArrivalsBatch || cfg.Order != workload.OrderRandom {
+		t.Fatalf("flags not applied: %+v", cfg)
+	}
+}
+
+func TestBuildWorkloadIndependent(t *testing.T) {
+	set, cfg, err := buildWorkload("", 100, 0.5, 1, 0.5, 1, 1, 1, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range set.Txns {
+		if len(tx.Deps) != 0 || tx.Weight != 1 {
+			t.Fatalf("independent workload has %v", tx)
+		}
+	}
+	if cfg.MaxWorkflowLength != 1 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestBuildWorkloadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	gen := workload.Default(0.6, 3)
+	gen.N = 50
+	set := workload.MustGenerate(gen)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteJSON(f, set, &gen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, cfg, err := buildWorkload(path, 0, 0, 0, 0, 0, 0, 0, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 50 || cfg == nil || cfg.Seed != 3 {
+		t.Fatalf("loaded %d txns, cfg %+v", loaded.Len(), cfg)
+	}
+}
+
+func TestBuildWorkloadMissingFile(t *testing.T) {
+	if _, _, err := buildWorkload("/does/not/exist.json", 0, 0, 0, 0, 0, 0, 0, false, false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPolicyMapComplete(t *testing.T) {
+	for name, factory := range policies {
+		s := factory()
+		if s == nil || s.Name() == "" {
+			t.Errorf("policy %q broken", name)
+		}
+	}
+	if len(policies) < 10 {
+		t.Errorf("only %d policies registered", len(policies))
+	}
+}

@@ -1,0 +1,121 @@
+// Command asetsweb serves a live dashboard of an ASETS*-scheduled
+// transaction stream: a Table I workload replays in (scaled) real time
+// through the online executor while HTTP endpoints report queue state,
+// tardiness and recent completions.
+//
+// Usage:
+//
+//	asetsweb -addr :8080 -policy asets -util 0.9 -scale 5ms
+//	# then open http://localhost:8080/
+//
+// Endpoints: / (dashboard), /api/stats, /api/recent, /api/workload,
+// /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		policy  = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
+		util    = flag.Float64("util", 0.9, "target utilization")
+		n       = flag.Int("n", 1000, "number of transactions")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		wfLen   = flag.Int("wf-len", 5, "max workflow length (1 = independent)")
+		weights = flag.Bool("weights", true, "draw weights from [1, 10]")
+		scale   = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
+		loop    = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
+	)
+	flag.Parse()
+
+	factories := map[string]func() sched.Scheduler{
+		"asets": func() sched.Scheduler { return core.New() },
+		"ready": func() sched.Scheduler { return core.NewReady() },
+		"edf":   sched.NewEDF,
+		"srpt":  sched.NewSRPT,
+		"hdf":   sched.NewHDF,
+		"fcfs":  sched.NewFCFS,
+		"ls":    sched.NewLS,
+	}
+	factory, ok := factories[*policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asetsweb: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	build := func(seed uint64) (*server.Server, error) {
+		cfg := workload.Default(*util, seed)
+		cfg.N = *n
+		if *wfLen > 1 {
+			cfg = cfg.WithWorkflows(*wfLen, 1)
+		}
+		if *weights {
+			cfg = cfg.WithWeights()
+		}
+		set, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return server.New(factory(), set, &cfg, executor.Options{TimeScale: *scale}), nil
+	}
+
+	srv, err := build(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+		os.Exit(1)
+	}
+
+	// current always points at the live server so the handler can swap in a
+	// new replay when -loop is set.
+	current := make(chan *server.Server, 1)
+	current <- srv
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := <-current
+		current <- s
+		s.ServeHTTP(w, r)
+	})
+
+	go func() {
+		s := srv
+		nextSeed := *seed
+		for {
+			<-s.Start(context.Background())
+			if err := s.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "asetsweb: replay: %v\n", err)
+				return
+			}
+			if !*loop {
+				return
+			}
+			nextSeed++
+			ns, err := build(nextSeed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+				return
+			}
+			<-current
+			current <- ns
+			s = ns
+		}
+	}()
+
+	fmt.Printf("asetsweb: %s scheduling %d transactions at U=%.2f — http://localhost%s/\n",
+		*policy, *n, *util, *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPrintStats(t *testing.T) {
+	cfg := workload.Default(0.8, 1).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 200
+	set := workload.MustGenerate(cfg)
+	var b strings.Builder
+	printStats(&b, set)
+	out := b.String()
+	for _, want := range []string{
+		"transactions:        200",
+		"total work:",
+		"mean length:",
+		"dependency edges:",
+		"workflows:",
+		"offered load:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the minimal end-to-end flow: generate the paper's
+// Table I workload, schedule it with ASETS*, and read the metrics.
+func Example() {
+	cfg := repro.DefaultWorkload(0.7, 42) // utilization 0.7, seed 42
+	set := repro.MustGenerate(cfg)
+	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+	fmt.Printf("transactions: %d\n", summary.N)
+	fmt.Printf("all work done: %v\n", summary.BusyTime == summary.TotalWork)
+	// Output:
+	// transactions: 1000
+	// all work done: true
+}
+
+// ExampleNewASETSStar_workflows schedules the paper's stock-dashboard
+// conflict: a short, urgent alerts fragment depends on a long, cheap scan.
+// Workflow-level ASETS* runs the producer first so the alert meets its
+// deadline.
+func ExampleNewASETSStar_workflows() {
+	scan := &repro.Transaction{ID: 0, Arrival: 0, Deadline: 60, Length: 12, Weight: 1}
+	alert := &repro.Transaction{ID: 1, Arrival: 0, Deadline: 20, Length: 1, Weight: 10,
+		Deps: []repro.ID{0}}
+	other := &repro.Transaction{ID: 2, Arrival: 0, Deadline: 25, Length: 9, Weight: 1}
+	set, err := repro.NewSet([]*repro.Transaction{scan, alert, other})
+	if err != nil {
+		panic(err)
+	}
+	repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+	fmt.Printf("alert finished at %.0f (deadline %.0f)\n", alert.FinishTime, alert.Deadline)
+	// Output:
+	// alert finished at 13 (deadline 20)
+}
+
+// ExampleNewASETSStar_balanceAware shows the Section III-D trade-off knob:
+// periodic activation of the highest weight-to-deadline transaction.
+func ExampleNewASETSStar_balanceAware() {
+	cfg := repro.DefaultWorkload(0.95, 7).WithWorkflows(5, 1).WithWeights()
+	plain := repro.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), repro.SimOptions{})
+	balanced := repro.MustRun(repro.MustGenerate(cfg),
+		repro.NewASETSStar(repro.WithTimeActivation(0.01)), repro.SimOptions{})
+	fmt.Printf("worst case improved: %v\n",
+		balanced.MaxWeightedTardiness < plain.MaxWeightedTardiness)
+	// Output:
+	// worst case improved: true
+}
+
+// ExampleRun_traceValidation records a schedule and mechanically checks the
+// invariants every legal preemptive-resume schedule must satisfy.
+func ExampleRun_traceValidation() {
+	cfg := repro.DefaultWorkload(0.8, 3)
+	cfg.N = 100
+	set := repro.MustGenerate(cfg)
+	rec := &repro.TraceRecorder{}
+	if _, err := repro.Run(set, repro.NewSRPT(), repro.SimOptions{Recorder: rec}); err != nil {
+		panic(err)
+	}
+	fmt.Println("schedule valid:", rec.Validate(set) == nil)
+	// Output:
+	// schedule valid: true
+}

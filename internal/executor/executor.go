@@ -1,0 +1,243 @@
+// Package executor runs a scheduling policy over live wall-clock time: the
+// online counterpart of the discrete-event simulator. A workload's arrivals
+// are replayed in real time (scaled by Options.TimeScale), the configured
+// scheduler decides what the single backend "database" executes, and an
+// arrival can preempt the running transaction exactly as in the simulator's
+// preemptive-resume model.
+//
+// The executor exists for two reasons. First, it demonstrates that the
+// policies in this repository are implementable online — every scheduling
+// decision uses only information available at decision time. Second, it
+// powers the asetsweb demo server, which exposes a live dashboard of an
+// ASETS*-scheduled transaction stream.
+//
+// Time handling: scheduling decisions and tardiness bookkeeping run on
+// event time (exactly the simulator's decision points), while wall-clock
+// sleeps only pace execution toward each event's scheduled instant. Timer
+// overshoot therefore puts the executor briefly into catch-up mode instead
+// of silently injecting extra load, and a paced run produces the same
+// schedule and the same tardiness as the discrete-event simulator on the
+// same workload — a property the tests assert exactly.
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// Options configures an Executor.
+type Options struct {
+	// TimeScale is the wall-clock duration of one simulated time unit.
+	// Default 200 microseconds: a 1000-transaction Table I workload at
+	// utilization 0.8 replays in a few seconds.
+	TimeScale time.Duration
+	// OnComplete, when non-nil, is called from the executor goroutine after
+	// every completion with the transaction and its finish time in
+	// simulated units.
+	OnComplete func(t *txn.Transaction, finish float64)
+}
+
+// Stats is a point-in-time snapshot of executor progress, safe to read
+// while the executor runs.
+type Stats struct {
+	// Now is the current simulated time.
+	Now float64
+	// Submitted and Completed count transactions.
+	Submitted int
+	Completed int
+	// Running is the ID of the executing transaction, or -1.
+	Running txn.ID
+	// SumTardiness and MaxTardiness aggregate finished transactions.
+	SumTardiness float64
+	MaxTardiness float64
+	// Misses counts finished transactions that overran their deadline.
+	Misses int
+}
+
+// AvgTardiness returns the running average tardiness of completed
+// transactions.
+func (s Stats) AvgTardiness() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.SumTardiness / float64(s.Completed)
+}
+
+// Executor replays one workload through a scheduler in real time. Create
+// with New, drive with Run, observe with Stats.
+type Executor struct {
+	set   *txn.Set
+	sched sched.Scheduler
+	opts  Options
+
+	mu    sync.Mutex
+	stats Stats
+	done  bool
+}
+
+// New prepares an executor. The scheduler must be freshly constructed (its
+// Init is called here) and must not be shared with another executor or
+// simulation.
+func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 200 * time.Microsecond
+	}
+	set.ResetAll()
+	s.Init(set)
+	return &Executor{
+		set:   set,
+		sched: s,
+		opts:  opts,
+		stats: Stats{Running: -1},
+	}
+}
+
+// Stats returns a consistent snapshot of progress.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Done reports whether Run has finished.
+func (e *Executor) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.done
+}
+
+// Run replays the workload to completion or until ctx is cancelled. It
+// returns the number of completed transactions and an error if the context
+// ended the run early or the scheduler misbehaved.
+func (e *Executor) Run(ctx context.Context) (int, error) {
+	order := make([]*txn.Transaction, e.set.Len())
+	copy(order, e.set.Txns)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Arrival != order[j].Arrival {
+			return order[i].Arrival < order[j].Arrival
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	start := time.Now()
+	wallAt := func(simT float64) time.Time {
+		return start.Add(time.Duration(simT * float64(e.opts.TimeScale)))
+	}
+
+	var now float64 // event time, in simulated units
+	nextArr := 0
+	completed := 0
+	n := e.set.Len()
+
+	// deliver hands every due arrival to the scheduler.
+	deliver := func(now float64) {
+		for nextArr < n && order[nextArr].Arrival <= now {
+			e.sched.OnArrival(now, order[nextArr])
+			e.mu.Lock()
+			e.stats.Submitted++
+			e.mu.Unlock()
+			nextArr++
+		}
+	}
+
+	// sleepUntil waits for a wall-clock instant, honouring cancellation.
+	sleepUntil := func(at time.Time) error {
+		d := time.Until(at)
+		if d <= 0 {
+			return ctx.Err()
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			return nil
+		}
+	}
+
+	defer func() {
+		e.mu.Lock()
+		e.done = true
+		e.stats.Running = -1
+		e.mu.Unlock()
+	}()
+
+	for completed < n {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		t := e.sched.Next(now)
+		if t == nil {
+			if nextArr >= n {
+				return completed, fmt.Errorf("executor: no ready transaction and no future arrivals with %d/%d complete", completed, n)
+			}
+			// Idle: pace to the next arrival's wall instant, then advance
+			// event time to it.
+			now = order[nextArr].Arrival
+			if err := sleepUntil(wallAt(now)); err != nil {
+				return completed, err
+			}
+			deliver(now)
+			continue
+		}
+		t.Started = true
+		e.mu.Lock()
+		e.stats.Running = t.ID
+		e.stats.Now = now
+		e.mu.Unlock()
+
+		// Run until completion or the next arrival, whichever first.
+		finishSim := now + t.Remaining
+		if nextArr < n && order[nextArr].Arrival < finishSim {
+			boundary := order[nextArr].Arrival
+			if err := sleepUntil(wallAt(boundary)); err != nil {
+				return completed, err
+			}
+			t.Remaining -= boundary - now
+			now = boundary
+			e.sched.OnPreempt(now, t)
+			e.mu.Lock()
+			e.stats.Running = -1
+			e.stats.Now = now
+			e.mu.Unlock()
+			deliver(now)
+			continue
+		}
+
+		if err := sleepUntil(wallAt(finishSim)); err != nil {
+			return completed, err
+		}
+		now = finishSim
+		t.Remaining = 0
+		t.Finished = true
+		t.FinishTime = now
+		completed++
+		e.sched.OnCompletion(now, t)
+
+		tard := t.Tardiness()
+		e.mu.Lock()
+		e.stats.Completed = completed
+		e.stats.Now = now
+		e.stats.Running = -1
+		e.stats.SumTardiness += tard
+		if tard > e.stats.MaxTardiness {
+			e.stats.MaxTardiness = tard
+		}
+		if tard > 0 {
+			e.stats.Misses++
+		}
+		e.mu.Unlock()
+		if e.opts.OnComplete != nil {
+			e.opts.OnComplete(t, now)
+		}
+		deliver(now)
+	}
+	return completed, nil
+}

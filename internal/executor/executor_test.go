@@ -1,0 +1,194 @@
+package executor
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// fastScale keeps the whole replay in tens of milliseconds.
+const fastScale = 20 * time.Microsecond
+
+func smallWorkload(t *testing.T, util float64, wf bool) *txn.Set {
+	t.Helper()
+	cfg := workload.Default(util, 7)
+	cfg.N = 60
+	if wf {
+		cfg = cfg.WithWorkflows(4, 1)
+	}
+	return workload.MustGenerate(cfg)
+}
+
+func TestRunCompletesEverything(t *testing.T) {
+	set := smallWorkload(t, 0.7, false)
+	ex := New(sched.NewEDF(), set, Options{TimeScale: fastScale})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n, err := ex.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != set.Len() {
+		t.Fatalf("completed %d of %d", n, set.Len())
+	}
+	for _, tx := range set.Txns {
+		if !tx.Finished {
+			t.Fatalf("T%d unfinished", tx.ID)
+		}
+		if tx.FinishTime < tx.Arrival+tx.Length-1e-6 {
+			t.Fatalf("T%d finished at %v before arrival+length %v", tx.ID, tx.FinishTime, tx.Arrival+tx.Length)
+		}
+	}
+	if !ex.Done() {
+		t.Fatal("Done() false after Run returned")
+	}
+}
+
+func TestPrecedenceHonoredLive(t *testing.T) {
+	set := smallWorkload(t, 0.9, true)
+	var mu sync.Mutex
+	finished := map[txn.ID]bool{}
+	var violation string
+	ex := New(core.New(), set, Options{
+		TimeScale: fastScale,
+		OnComplete: func(tx *txn.Transaction, finish float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, d := range tx.Deps {
+				if !finished[d] {
+					violation = tx.String()
+				}
+			}
+			finished[tx.ID] = true
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := ex.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if violation != "" {
+		t.Fatalf("dependency violated for %s", violation)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	set := smallWorkload(t, 0.8, false)
+	ex := New(sched.NewSRPT(), set, Options{TimeScale: fastScale})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		if _, err := ex.Run(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Poll stats while the run progresses; snapshots must be monotone and
+	// internally consistent.
+	prev := ex.Stats()
+	for {
+		select {
+		case <-donec:
+			final := ex.Stats()
+			if final.Completed != set.Len() {
+				t.Fatalf("final completed = %d", final.Completed)
+			}
+			if final.AvgTardiness() < 0 || final.MaxTardiness < final.AvgTardiness() {
+				t.Fatalf("tardiness stats inconsistent: %+v", final)
+			}
+			if final.Misses > final.Completed {
+				t.Fatalf("misses %d > completed %d", final.Misses, final.Completed)
+			}
+			return
+		default:
+		}
+		s := ex.Stats()
+		if s.Completed < prev.Completed || s.Submitted < prev.Submitted {
+			t.Fatalf("stats went backwards: %+v -> %+v", prev, s)
+		}
+		if s.Completed > s.Submitted {
+			t.Fatalf("completed %d > submitted %d", s.Completed, s.Submitted)
+		}
+		prev = s
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	cfg := workload.Default(0.8, 9)
+	cfg.N = 200
+	set := workload.MustGenerate(cfg)
+	// A slow scale guarantees the context expires mid-run.
+	ex := New(sched.NewEDF(), set, Options{TimeScale: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	n, err := ex.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if n >= set.Len() {
+		t.Fatalf("run completed (%d) despite cancellation", n)
+	}
+	if !ex.Done() {
+		t.Fatal("Done() false after cancelled Run")
+	}
+}
+
+func TestAvgTardinessEmpty(t *testing.T) {
+	var s Stats
+	if s.AvgTardiness() != 0 {
+		t.Fatal("empty stats tardiness non-zero")
+	}
+}
+
+func TestDefaultTimeScaleApplied(t *testing.T) {
+	set := smallWorkload(t, 0.5, false)
+	ex := New(sched.NewFCFS(), set, Options{})
+	if ex.opts.TimeScale != 200*time.Microsecond {
+		t.Fatalf("default scale = %v", ex.opts.TimeScale)
+	}
+}
+
+// TestLiveMatchesSimulatorExactly: because the executor makes decisions at
+// event time and only uses wall-clock sleeps for pacing, a completed run
+// produces exactly the simulator's schedule and tardiness on the same
+// workload.
+func TestLiveMatchesSimulatorExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	cfg := workload.Default(0.8, 21)
+	cfg.N = 150
+	setSim := workload.MustGenerate(cfg)
+	simSum := mustSim(t, setSim)
+
+	setLive := workload.MustGenerate(cfg)
+	ex := New(sched.NewSRPT(), setLive, Options{TimeScale: 20 * time.Microsecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := ex.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	live := ex.Stats().AvgTardiness()
+	if diff := live - simSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("live avg tardiness %v != simulator's %v", live, simSum)
+	}
+}
+
+func mustSim(t *testing.T, set *txn.Set) float64 {
+	t.Helper()
+	summary, err := sim.Run(set, sched.NewSRPT(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return summary.AvgTardiness
+}

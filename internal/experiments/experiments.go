@@ -1,0 +1,306 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation (Section IV), plus the extensions and
+// ablations indexed in DESIGN.md. Each experiment sweeps a parameter,
+// simulates every policy over several seeded workloads (the paper averages
+// five runs per setting), validates the resulting schedules, and returns a
+// report.Figure whose series mirror the curves in the paper.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options tunes how experiments run; the zero value is filled with defaults
+// matching the paper (five seeds, 1000 transactions, full utilization grid).
+type Options struct {
+	// Seeds are the workload seeds to average over (paper: five runs).
+	Seeds []uint64
+	// N overrides the number of transactions per workload (paper: 1000).
+	N int
+	// Parallelism bounds concurrent simulation workers; 0 means GOMAXPROCS.
+	Parallelism int
+	// Validate enables per-run schedule validation via the trace package.
+	Validate bool
+}
+
+// DefaultSeeds are the five workload seeds used throughout, spread through
+// the seed space by the golden-ratio increment.
+var DefaultSeeds = []uint64{
+	0x9e3779b97f4a7c15,
+	0x3c6ef372fe94f82a,
+	0xdaa66d2c7ddc743f,
+	0x78dde6e5fd23f054,
+	0x17156069fc6b6c69,
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = DefaultSeeds
+	}
+	if o.N == 0 {
+		o.N = 1000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Policy couples a display name with a scheduler factory. A fresh scheduler
+// is constructed for every simulation run, so factories must not share
+// mutable state between calls.
+type Policy struct {
+	Name string
+	New  func() sched.Scheduler
+}
+
+// UtilizationGrid returns the paper's sweep 0.1, 0.2, ..., 1.0.
+func UtilizationGrid() []float64 {
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i+1) / 10
+	}
+	return xs
+}
+
+// LowUtilizationGrid returns 0.1..0.5 (Figure 8's x-axis).
+func LowUtilizationGrid() []float64 { return UtilizationGrid()[:5] }
+
+// HighUtilizationGrid returns 0.6..1.0 (Figure 9's x-axis).
+func HighUtilizationGrid() []float64 { return UtilizationGrid()[5:] }
+
+// cell identifies one (x-value, policy, seed) simulation.
+type cell struct {
+	xi, pi, si int
+}
+
+// sweepResult holds per-(policy, x) statistics across seeds for every metric
+// the figures consume.
+type sweepResult struct {
+	// indexed [policy][x]
+	avgTardiness [][]*metrics.Stream
+	avgWeighted  [][]*metrics.Stream
+	maxWeighted  [][]*metrics.Stream
+	missRatio    [][]*metrics.Stream
+	avgResponse  [][]*metrics.Stream
+	realizedUtil [][]*metrics.Stream
+	maxTardiness [][]*metrics.Stream
+}
+
+func newSweepResult(nPolicies, nX int) *sweepResult {
+	alloc := func() [][]*metrics.Stream {
+		out := make([][]*metrics.Stream, nPolicies)
+		for p := range out {
+			out[p] = make([]*metrics.Stream, nX)
+			for x := range out[p] {
+				out[p][x] = &metrics.Stream{}
+			}
+		}
+		return out
+	}
+	return &sweepResult{
+		avgTardiness: alloc(),
+		avgWeighted:  alloc(),
+		maxWeighted:  alloc(),
+		missRatio:    alloc(),
+		avgResponse:  alloc(),
+		realizedUtil: alloc(),
+		maxTardiness: alloc(),
+	}
+}
+
+// sweep runs every (x, policy, seed) combination, in parallel, and
+// aggregates the summaries. makeCfg maps an x-value and seed to a workload
+// configuration; the same (x, seed) workload is regenerated per policy so
+// every policy schedules an identical transaction set. policiesAt returns
+// the policy list for a given x — most figures use a fixed list, while the
+// balance-aware sweeps vary the activation rate with x; the list length and
+// ordering must not change across x.
+func sweep(opts Options, xs []float64, policiesAt func(x float64) []Policy, makeCfg func(x float64, seed uint64) workload.Config) (*sweepResult, error) {
+	opts = opts.withDefaults()
+	policyGrid := make([][]Policy, len(xs))
+	for i, x := range xs {
+		policyGrid[i] = policiesAt(x)
+		if len(policyGrid[i]) != len(policyGrid[0]) {
+			return nil, fmt.Errorf("experiments: policiesAt returned %d policies at x=%v but %d at x=%v",
+				len(policyGrid[i]), x, len(policyGrid[0]), xs[0])
+		}
+	}
+	nPolicies := len(policyGrid[0])
+	res := newSweepResult(nPolicies, len(xs))
+
+	var cells []cell
+	for xi := range xs {
+		for pi := 0; pi < nPolicies; pi++ {
+			for si := range opts.Seeds {
+				cells = append(cells, cell{xi: xi, pi: pi, si: si})
+			}
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		work     = make(chan cell)
+	)
+	worker := func() {
+		defer wg.Done()
+		for c := range work {
+			policy := policyGrid[c.xi][c.pi]
+			summary, err := runOne(opts, makeCfg(xs[c.xi], opts.Seeds[c.si]), policy)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: x=%v policy=%s seed=%d: %w",
+						xs[c.xi], policy.Name, opts.Seeds[c.si], err)
+				}
+			} else {
+				res.avgTardiness[c.pi][c.xi].Add(summary.AvgTardiness)
+				res.avgWeighted[c.pi][c.xi].Add(summary.AvgWeightedTardiness)
+				res.maxWeighted[c.pi][c.xi].Add(summary.MaxWeightedTardiness)
+				res.missRatio[c.pi][c.xi].Add(summary.MissRatio)
+				res.avgResponse[c.pi][c.xi].Add(summary.AvgResponseTime)
+				res.realizedUtil[c.pi][c.xi].Add(summary.Utilization)
+				res.maxTardiness[c.pi][c.xi].Add(summary.MaxTardiness)
+			}
+			mu.Unlock()
+		}
+	}
+	workers := opts.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runOne generates the workload, simulates it under the policy, and — when
+// validation is on — checks the schedule invariants.
+func runOne(opts Options, cfg workload.Config, policy Policy) (*metrics.Summary, error) {
+	cfg.N = opts.N
+	set, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rec *trace.Recorder
+	simOpts := sim.Options{}
+	if opts.Validate {
+		rec = &trace.Recorder{}
+		simOpts.Recorder = rec
+	}
+	summary, err := sim.Run(set, policy.New(), simOpts)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := rec.Validate(set); err != nil {
+			return nil, err
+		}
+	}
+	return summary, nil
+}
+
+// means extracts the per-x means (and 95% CIs) of one metric row.
+func means(row []*metrics.Stream) (ys, errs []float64) {
+	ys = make([]float64, len(row))
+	errs = make([]float64, len(row))
+	for i, s := range row {
+		ys[i] = s.Mean()
+		errs[i] = s.CI95()
+	}
+	return ys, errs
+}
+
+// ratios divides numerator means by denominator means pointwise, mapping
+// 0/0 to 1 (both policies achieved zero tardiness, i.e. parity).
+func ratios(num, den []*metrics.Stream) []float64 {
+	out := make([]float64, len(num))
+	for i := range num {
+		n, d := num[i].Mean(), den[i].Mean()
+		switch {
+		case d == 0 && n == 0:
+			out[i] = 1
+		case d == 0:
+			out[i] = 0 // denominator policy was perfect; flag dominance
+		default:
+			out[i] = n / d
+		}
+	}
+	return out
+}
+
+// Crossover returns the first x at which series b drops strictly below
+// series a (e.g. where SRPT overtakes EDF), or -1 when it never does.
+func Crossover(xs, a, b []float64) float64 {
+	for i := range xs {
+		if b[i] < a[i] {
+			return xs[i]
+		}
+	}
+	return -1
+}
+
+// Registry maps experiment IDs (DESIGN.md's per-experiment index) to their
+// runners, so the CLI and tests can enumerate them.
+var Registry = map[string]func(Options) (*Result, error){
+	"fig8":       Fig8,
+	"fig9":       Fig9,
+	"fig10":      Fig10,
+	"fig11":      Fig11,
+	"fig12":      Fig12,
+	"fig13":      Fig13,
+	"fig14":      Fig14,
+	"fig15":      Fig15,
+	"fig16":      Fig16,
+	"fig17":      Fig17,
+	"tab1":       Table1,
+	"alpha":      AlphaSweep,
+	"abl-rule":   AblationRule,
+	"abl-count":  AblationCountBalance,
+	"wf-len":     WorkflowLengthSweep,
+	"wf-mem":     WorkflowMembershipSweep,
+	"dep-split":  DependentBreakdown,
+	"abl-rep":    AblationRepScope,
+	"fig15x":     Fig15Extended,
+	"domino":     Domino,
+	"mserver":    MultiServer,
+	"sessions":   Sessions,
+	"cache":      Cache,
+	"structural": Structural,
+	"hitratio":   HitRatio,
+	"burst":      Burst,
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates non-negative observations (tardiness, response
+// times) into geometric buckets: bucket i covers [base^i, base^(i+1)), with
+// a dedicated zero bucket because "met the deadline" is the interesting mass
+// point of every tardiness distribution. The geometric layout keeps
+// resolution proportional to magnitude across the 4-5 decades a saturated
+// run produces.
+type Histogram struct {
+	base    float64
+	zero    int
+	buckets []int
+	n       int
+	sum     float64
+	max     float64
+}
+
+// NewHistogram returns a histogram with the given bucket growth factor
+// (must exceed 1; 2 gives powers of two).
+func NewHistogram(base float64) *Histogram {
+	if base <= 1 || math.IsNaN(base) || math.IsInf(base, 0) {
+		panic(fmt.Sprintf("metrics: histogram base %v must be > 1", base))
+	}
+	return &Histogram{base: base}
+}
+
+// Add records one observation. Negative values panic: tardiness and
+// response times are non-negative by construction, so a negative value is a
+// caller bug worth surfacing immediately.
+func (h *Histogram) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("metrics: histogram observation %v must be non-negative", v))
+	}
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v == 0 {
+		h.zero++
+		return
+	}
+	idx := int(math.Floor(math.Log(v) / math.Log(h.base)))
+	if idx < 0 {
+		idx = 0 // sub-unit values share the first bucket
+	}
+	for len(h.buckets) <= idx {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[idx]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the running mean.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// ZeroFraction returns the share of exactly-zero observations (transactions
+// that met their deadline, for a tardiness histogram).
+func (h *Histogram) ZeroFraction() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.zero) / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using the
+// bucket upper edges: the true quantile lies within one bucket width below.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.n)))
+	acc := h.zero
+	if acc >= target {
+		return 0
+	}
+	for i, c := range h.buckets {
+		acc += c
+		if acc >= target {
+			return math.Pow(h.base, float64(i+1))
+		}
+	}
+	return h.max
+}
+
+// String renders an ASCII bar view, one row per non-empty bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3f max=%.3f zero=%.1f%%\n", h.n, h.Mean(), h.max, 100*h.ZeroFraction())
+	if h.zero > 0 {
+		fmt.Fprintf(&b, "%12s %6d %s\n", "=0", h.zero, bar(h.zero, h.n))
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := math.Pow(h.base, float64(i))
+		hi := math.Pow(h.base, float64(i+1))
+		fmt.Fprintf(&b, "%5.1f-%-6.1f %6d %s\n", lo, hi, c, bar(c, h.n))
+	}
+	return b.String()
+}
+
+func bar(count, total int) string {
+	if total == 0 {
+		return ""
+	}
+	width := count * 40 / total
+	return strings.Repeat("#", width)
+}

@@ -1,0 +1,130 @@
+// Package metrics computes the performance measures of the paper's
+// evaluation: per-transaction tardiness (Definition 3), average tardiness
+// (Definition 4), average weighted tardiness (Definition 5), and the maximum
+// weighted tardiness used to characterize worst-case performance in the
+// balance-aware experiments (Section IV-F) — plus supporting measures
+// (deadline miss ratio, response time, realized utilization) used by the
+// tests and the extended benchmarks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/txn"
+)
+
+// Summary aggregates one simulation run over a complete workload.
+type Summary struct {
+	// N is the number of transactions.
+	N int
+	// AvgTardiness is (1/N) * sum t_i (Definition 4).
+	AvgTardiness float64
+	// AvgWeightedTardiness is (1/N) * sum t_i*w_i (Definition 5).
+	AvgWeightedTardiness float64
+	// MaxTardiness is max_i t_i.
+	MaxTardiness float64
+	// MaxWeightedTardiness is max_i t_i*w_i — the worst-case metric of
+	// Figure 16.
+	MaxWeightedTardiness float64
+	// MissRatio is the fraction of transactions that missed their deadline.
+	MissRatio float64
+	// AvgResponseTime is the mean of f_i - a_i.
+	AvgResponseTime float64
+	// AvgStretch is the mean of (f_i - a_i) / l_i, a slowdown measure.
+	AvgStretch float64
+	// TotalWork is the sum of transaction lengths.
+	TotalWork float64
+	// Makespan is the time the last transaction finished.
+	Makespan float64
+	// BusyTime is the total time the backend served transactions.
+	BusyTime float64
+	// Utilization is BusyTime / Makespan, the realized load.
+	Utilization float64
+	// TardinessP50/P95/P99 are tardiness percentiles across transactions.
+	TardinessP50 float64
+	TardinessP95 float64
+	TardinessP99 float64
+}
+
+// Compute derives a Summary from a finished workload. busyTime is the total
+// service time the simulator performed (equal to TotalWork for a
+// work-conserving schedule that completes everything). It returns an error
+// if any transaction is unfinished, because a partial run has no meaningful
+// tardiness.
+func Compute(set *txn.Set, busyTime float64) (*Summary, error) {
+	n := set.Len()
+	if n == 0 {
+		return &Summary{}, nil
+	}
+	s := &Summary{N: n, BusyTime: busyTime}
+	tard := make([]float64, 0, n)
+	misses := 0
+	for _, t := range set.Txns {
+		if !t.Finished {
+			return nil, fmt.Errorf("metrics: transaction %d is unfinished", t.ID)
+		}
+		ti := t.Tardiness()
+		tard = append(tard, ti)
+		s.AvgTardiness += ti
+		s.AvgWeightedTardiness += ti * t.Weight
+		if ti > s.MaxTardiness {
+			s.MaxTardiness = ti
+		}
+		if wt := ti * t.Weight; wt > s.MaxWeightedTardiness {
+			s.MaxWeightedTardiness = wt
+		}
+		if ti > 0 {
+			misses++
+		}
+		resp := t.FinishTime - t.Arrival
+		s.AvgResponseTime += resp
+		s.AvgStretch += resp / t.Length
+		s.TotalWork += t.Length
+		if t.FinishTime > s.Makespan {
+			s.Makespan = t.FinishTime
+		}
+	}
+	fn := float64(n)
+	s.AvgTardiness /= fn
+	s.AvgWeightedTardiness /= fn
+	s.AvgResponseTime /= fn
+	s.AvgStretch /= fn
+	s.MissRatio = float64(misses) / fn
+	if s.Makespan > 0 {
+		s.Utilization = busyTime / s.Makespan
+	}
+	sort.Float64s(tard)
+	s.TardinessP50 = percentile(tard, 0.50)
+	s.TardinessP95 = percentile(tard, 0.95)
+	s.TardinessP99 = percentile(tard, 0.99)
+	return s, nil
+}
+
+// percentile returns the p-quantile (0 <= p <= 1) of sorted values using
+// linear interpolation between closest ranks.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the headline numbers on one line for CLI output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d avgTard=%.3f avgWTard=%.3f maxWTard=%.3f miss=%.1f%% resp=%.3f util=%.3f",
+		s.N, s.AvgTardiness, s.AvgWeightedTardiness, s.MaxWeightedTardiness,
+		100*s.MissRatio, s.AvgResponseTime, s.Utilization)
+}

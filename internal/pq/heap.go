@@ -1,0 +1,170 @@
+// Package pq provides the priority-queue substrates used by the schedulers:
+// a generic indexed binary heap supporting O(log n) update and removal of
+// arbitrary elements, and a treap-based ordered map (the "standard balanced
+// binary search tree" the paper cites for its O(log N) priority lists).
+package pq
+
+// Item is the element stored in a Heap. Embedding bookkeeping in the item
+// (rather than returning opaque handles) lets schedulers move transactions
+// and workflows between the EDF and SRPT/HDF lists without map lookups.
+type Item[T any] struct {
+	Value T
+	index int // position in the heap slice, -1 when not enqueued
+	owner *Heap[T]
+}
+
+// NewItem wraps v for insertion into a Heap.
+func NewItem[T any](v T) *Item[T] {
+	return &Item[T]{Value: v, index: -1}
+}
+
+// InHeap reports whether the item is currently enqueued in any heap.
+func (it *Item[T]) InHeap() bool { return it.index >= 0 }
+
+// Owner returns the heap the item currently belongs to, or nil.
+func (it *Item[T]) Owner() *Heap[T] { return it.owner }
+
+// Heap is an indexed binary min-heap ordered by a user-supplied less
+// function. The zero value is not usable; construct with NewHeap.
+type Heap[T any] struct {
+	items []*Item[T]
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less (a min-heap with respect to
+// less; pass an inverted comparison for max-heap behaviour).
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	if less == nil {
+		panic("pq: NewHeap called with nil less function")
+	}
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of enqueued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts it into the heap. It panics if the item is already enqueued
+// (in this heap or another), because silently double-inserting a transaction
+// is always a scheduler bug.
+func (h *Heap[T]) Push(it *Item[T]) {
+	if it.index >= 0 {
+		panic("pq: Push of item that is already in a heap")
+	}
+	it.index = len(h.items)
+	it.owner = h
+	h.items = append(h.items, it)
+	h.up(it.index)
+}
+
+// Peek returns the minimum item without removing it, or nil if empty.
+func (h *Heap[T]) Peek() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// Pop removes and returns the minimum item, or nil if the heap is empty.
+func (h *Heap[T]) Pop() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.Remove(top)
+	return top
+}
+
+// Remove deletes it from the heap in O(log n). It panics if the item is not
+// currently in this heap.
+func (h *Heap[T]) Remove(it *Item[T]) {
+	if it.owner != h || it.index < 0 {
+		panic("pq: Remove of item that is not in this heap")
+	}
+	i := it.index
+	last := len(h.items) - 1
+	if i != last {
+		h.items[i] = h.items[last]
+		h.items[i].index = i
+	}
+	h.items = h.items[:last]
+	it.index = -1
+	it.owner = nil
+	if i != last {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+// Fix re-establishes the heap invariant after the priority of it changed in
+// place (e.g. a preempted transaction's remaining time shrank). It panics if
+// the item is not in this heap.
+func (h *Heap[T]) Fix(it *Item[T]) {
+	if it.owner != h || it.index < 0 {
+		panic("pq: Fix of item that is not in this heap")
+	}
+	if !h.down(it.index) {
+		h.up(it.index)
+	}
+}
+
+// Items returns the underlying slice in heap order (not sorted order). The
+// slice must not be mutated; it is exposed for iteration by invariant
+// checkers and tests.
+func (h *Heap[T]) Items() []*Item[T] { return h.items }
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i].Value, h.items[parent].Value) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i0 int) bool {
+	i := i0
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right].Value, h.items[left].Value) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest].Value, h.items[i].Value) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return i > i0
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+// Verify checks the heap invariant for every node and reports whether it
+// holds. It is O(n) and intended for tests and the trace validator only.
+func (h *Heap[T]) Verify() bool {
+	for i := 1; i < len(h.items); i++ {
+		parent := (i - 1) / 2
+		if h.less(h.items[i].Value, h.items[parent].Value) {
+			return false
+		}
+		if h.items[i].index != i || h.items[i].owner != h {
+			return false
+		}
+	}
+	if len(h.items) > 0 && (h.items[0].index != 0 || h.items[0].owner != h) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func intHeap() *Heap[int] {
+	return NewHeap[int](func(a, b int) bool { return a < b })
+}
+
+func TestHeapEmpty(t *testing.T) {
+	h := intHeap()
+	if h.Len() != 0 {
+		t.Fatalf("empty heap Len = %d", h.Len())
+	}
+	if h.Peek() != nil {
+		t.Fatal("empty heap Peek != nil")
+	}
+	if h.Pop() != nil {
+		t.Fatal("empty heap Pop != nil")
+	}
+}
+
+func TestHeapPushPopSorted(t *testing.T) {
+	h := intHeap()
+	vals := []int{5, 3, 8, 1, 9, 2, 7, 2, 5}
+	for _, v := range vals {
+		h.Push(NewItem(v))
+	}
+	if !h.Verify() {
+		t.Fatal("heap invariant broken after pushes")
+	}
+	sort.Ints(vals)
+	for i, want := range vals {
+		it := h.Pop()
+		if it == nil || it.Value != want {
+			t.Fatalf("pop %d = %v, want %d", i, it, want)
+		}
+		if it.InHeap() {
+			t.Fatal("popped item still reports InHeap")
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after popping all: %d", h.Len())
+	}
+}
+
+func TestHeapRemoveMiddle(t *testing.T) {
+	h := intHeap()
+	items := make([]*Item[int], 0, 10)
+	for _, v := range []int{4, 9, 1, 7, 3, 8, 2, 6, 5, 0} {
+		it := NewItem(v)
+		items = append(items, it)
+		h.Push(it)
+	}
+	// Remove the items holding 7 and 0.
+	for _, it := range items {
+		if it.Value == 7 || it.Value == 0 {
+			h.Remove(it)
+		}
+	}
+	if !h.Verify() {
+		t.Fatal("heap invariant broken after removals")
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 8, 9}
+	for _, w := range want {
+		if got := h.Pop().Value; got != w {
+			t.Fatalf("pop = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestHeapFixAfterMutation(t *testing.T) {
+	type job struct{ key int }
+	h := NewHeap[*job](func(a, b *job) bool { return a.key < b.key })
+	a, b, c := &job{5}, &job{10}, &job{15}
+	ia, ib, ic := NewItem(a), NewItem(b), NewItem(c)
+	h.Push(ia)
+	h.Push(ib)
+	h.Push(ic)
+	// Make c the smallest in place and fix.
+	c.key = 1
+	h.Fix(ic)
+	if h.Peek() != ic {
+		t.Fatal("Fix did not float decreased key to the top")
+	}
+	// Make it the largest again.
+	c.key = 100
+	h.Fix(ic)
+	if h.Peek() != ia {
+		t.Fatal("Fix did not sink increased key")
+	}
+	if !h.Verify() {
+		t.Fatal("heap invariant broken after Fix")
+	}
+	_ = b
+}
+
+func TestHeapPushDuplicatePanics(t *testing.T) {
+	h := intHeap()
+	it := NewItem(1)
+	h.Push(it)
+	defer expectPanic(t, "double Push")
+	h.Push(it)
+}
+
+func TestHeapRemoveForeignPanics(t *testing.T) {
+	h1, h2 := intHeap(), intHeap()
+	it := NewItem(1)
+	h1.Push(it)
+	defer expectPanic(t, "Remove from wrong heap")
+	h2.Remove(it)
+}
+
+func TestHeapFixUnqueuedPanics(t *testing.T) {
+	h := intHeap()
+	defer expectPanic(t, "Fix of unqueued item")
+	h.Fix(NewItem(1))
+}
+
+func TestHeapNilLessPanics(t *testing.T) {
+	defer expectPanic(t, "NewHeap(nil)")
+	NewHeap[int](nil)
+}
+
+func TestHeapOwnerTracking(t *testing.T) {
+	h := intHeap()
+	it := NewItem(42)
+	if it.Owner() != nil {
+		t.Fatal("fresh item has an owner")
+	}
+	h.Push(it)
+	if it.Owner() != h {
+		t.Fatal("pushed item does not report its heap")
+	}
+	h.Remove(it)
+	if it.Owner() != nil {
+		t.Fatal("removed item still reports an owner")
+	}
+}
+
+// TestHeapRandomOperations drives the heap against a reference model
+// (a plain slice kept sorted) through thousands of random operations.
+func TestHeapRandomOperations(t *testing.T) {
+	src := rng.New(2024)
+	h := intHeap()
+	var live []*Item[int]
+	for step := 0; step < 20000; step++ {
+		switch op := src.Intn(10); {
+		case op < 5 || len(live) == 0: // push
+			it := NewItem(src.Intn(1000))
+			h.Push(it)
+			live = append(live, it)
+		case op < 7: // pop minimum
+			want := live[0]
+			for _, it := range live {
+				if it.Value < want.Value {
+					want = it
+				}
+			}
+			got := h.Pop()
+			if got.Value != want.Value {
+				t.Fatalf("step %d: pop = %d, want %d", step, got.Value, want.Value)
+			}
+			live = removeItem(live, got)
+		case op < 9: // remove arbitrary
+			victim := live[src.Intn(len(live))]
+			h.Remove(victim)
+			live = removeItem(live, victim)
+		default: // mutate + fix
+			it := live[src.Intn(len(live))]
+			it.Value = src.Intn(1000)
+			h.Fix(it)
+		}
+		if step%1000 == 0 && !h.Verify() {
+			t.Fatalf("step %d: heap invariant broken", step)
+		}
+	}
+	if h.Len() != len(live) {
+		t.Fatalf("length mismatch: heap %d, model %d", h.Len(), len(live))
+	}
+}
+
+func removeItem(s []*Item[int], it *Item[int]) []*Item[int] {
+	for i, v := range s {
+		if v == it {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// TestQuickHeapSortsAnything: pushing any int slice and popping yields the
+// sorted slice.
+func TestQuickHeapSortsAnything(t *testing.T) {
+	f := func(vals []int) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(NewItem(v))
+		}
+		out := make([]int, 0, len(vals))
+		for h.Len() > 0 {
+			out = append(out, h.Pop().Value)
+		}
+		if !sort.IntsAreSorted(out) {
+			return false
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("%s did not panic", what)
+	}
+}

@@ -1,0 +1,201 @@
+package pq
+
+import "repro/internal/rng"
+
+// Treap is an ordered map implemented as a randomized balanced binary search
+// tree. The paper notes that ASETS* "can use the standard balanced binary
+// search tree as the priority queue, which requires only a time of O(log N)";
+// this type is that substrate. Keys are ordered by a user-supplied less
+// function and duplicate keys are permitted (each Insert creates a distinct
+// node), which matters because distinct transactions frequently share a
+// deadline or a remaining processing time.
+//
+// Node priorities come from a deterministic splitmix64 stream seeded at
+// construction, so tree shape — and therefore iteration cost — is
+// reproducible run to run.
+type Treap[K, V any] struct {
+	root *TreapNode[K, V]
+	less func(a, b K) bool
+	rnd  *rng.SplitMix64
+	size int
+}
+
+// TreapNode is a node handle returned by Insert; it can be passed to Delete
+// for O(log n) removal without a search, mirroring the indexed heap.
+type TreapNode[K, V any] struct {
+	Key      K
+	Value    V
+	prio     uint64
+	left     *TreapNode[K, V]
+	right    *TreapNode[K, V]
+	parent   *TreapNode[K, V]
+	enqueued bool
+}
+
+// NewTreap returns an empty treap ordered by less, with node priorities
+// drawn deterministically from seed.
+func NewTreap[K, V any](less func(a, b K) bool, seed uint64) *Treap[K, V] {
+	if less == nil {
+		panic("pq: NewTreap called with nil less function")
+	}
+	return &Treap[K, V]{less: less, rnd: rng.NewSplitMix64(seed)}
+}
+
+// Len returns the number of nodes in the treap.
+func (t *Treap[K, V]) Len() int { return t.size }
+
+// Insert adds a key/value pair and returns its node handle.
+func (t *Treap[K, V]) Insert(key K, value V) *TreapNode[K, V] {
+	n := &TreapNode[K, V]{Key: key, Value: value, prio: t.rnd.Next(), enqueued: true}
+	t.root = t.insert(t.root, n)
+	t.root.parent = nil
+	t.size++
+	return n
+}
+
+func (t *Treap[K, V]) insert(root, n *TreapNode[K, V]) *TreapNode[K, V] {
+	if root == nil {
+		return n
+	}
+	if t.less(n.Key, root.Key) {
+		root.left = t.insert(root.left, n)
+		root.left.parent = root
+		if root.left.prio < root.prio {
+			root = t.rotateRight(root)
+		}
+	} else {
+		root.right = t.insert(root.right, n)
+		root.right.parent = root
+		if root.right.prio < root.prio {
+			root = t.rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func (t *Treap[K, V]) rotateRight(y *TreapNode[K, V]) *TreapNode[K, V] {
+	x := y.left
+	y.left = x.right
+	if x.right != nil {
+		x.right.parent = y
+	}
+	x.right = y
+	x.parent = y.parent
+	y.parent = x
+	return x
+}
+
+func (t *Treap[K, V]) rotateLeft(x *TreapNode[K, V]) *TreapNode[K, V] {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.left = x
+	y.parent = x.parent
+	x.parent = y
+	return y
+}
+
+// Min returns the node with the smallest key, or nil if the treap is empty.
+func (t *Treap[K, V]) Min() *TreapNode[K, V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Max returns the node with the largest key, or nil if the treap is empty.
+func (t *Treap[K, V]) Max() *TreapNode[K, V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// Delete removes the node n from the treap. It panics if n has already been
+// removed, to surface double-free scheduler bugs immediately.
+func (t *Treap[K, V]) Delete(n *TreapNode[K, V]) {
+	if !n.enqueued {
+		panic("pq: Delete of treap node that is not enqueued")
+	}
+	// Rotate n down until it is a leaf, then unlink it from its parent.
+	for n.left != nil || n.right != nil {
+		var up *TreapNode[K, V]
+		if n.right == nil || (n.left != nil && n.left.prio < n.right.prio) {
+			up = t.rotateRight(n)
+		} else {
+			up = t.rotateLeft(n)
+		}
+		if up.parent == nil {
+			t.root = up
+		} else if up.parent.left == n {
+			up.parent.left = up
+		} else {
+			up.parent.right = up
+		}
+	}
+	if n.parent == nil {
+		t.root = nil
+	} else if n.parent.left == n {
+		n.parent.left = nil
+	} else {
+		n.parent.right = nil
+	}
+	n.parent = nil
+	n.enqueued = false
+	t.size--
+}
+
+// Ascend calls fn for every node in ascending key order, stopping early if
+// fn returns false.
+func (t *Treap[K, V]) Ascend(fn func(n *TreapNode[K, V]) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K, V any](n *TreapNode[K, V], fn func(*TreapNode[K, V]) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Verify checks the BST-order and heap-priority invariants over the whole
+// tree plus parent pointers, and that the node count matches Len. O(n);
+// tests only.
+func (t *Treap[K, V]) Verify() bool {
+	count := 0
+	ok := t.verify(t.root, nil, &count)
+	return ok && count == t.size
+}
+
+func (t *Treap[K, V]) verify(n, parent *TreapNode[K, V], count *int) bool {
+	if n == nil {
+		return true
+	}
+	*count++
+	if n.parent != parent || !n.enqueued {
+		return false
+	}
+	if n.left != nil && (t.less(n.Key, n.left.Key) || n.left.prio < n.prio) {
+		return false
+	}
+	if n.right != nil && (t.less(n.right.Key, n.Key) || n.right.prio < n.prio) {
+		return false
+	}
+	return t.verify(n.left, n, count) && t.verify(n.right, n, count)
+}

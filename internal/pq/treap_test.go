@@ -1,0 +1,195 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func intTreap() *Treap[int, string] {
+	return NewTreap[int, string](func(a, b int) bool { return a < b }, 42)
+}
+
+func TestTreapEmpty(t *testing.T) {
+	tr := intTreap()
+	if tr.Len() != 0 || tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("empty treap misbehaves")
+	}
+}
+
+func TestTreapInsertAscend(t *testing.T) {
+	tr := intTreap()
+	vals := []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, v := range vals {
+		tr.Insert(v, "")
+	}
+	if !tr.Verify() {
+		t.Fatal("treap invariants broken after inserts")
+	}
+	var got []int
+	tr.Ascend(func(n *TreapNode[int, string]) bool {
+		got = append(got, n.Key)
+		return true
+	})
+	if !sort.IntsAreSorted(got) || len(got) != len(vals) {
+		t.Fatalf("Ascend order = %v", got)
+	}
+	if tr.Min().Key != 0 || tr.Max().Key != 9 {
+		t.Fatalf("min/max = %d/%d", tr.Min().Key, tr.Max().Key)
+	}
+}
+
+func TestTreapDuplicateKeys(t *testing.T) {
+	tr := intTreap()
+	n1 := tr.Insert(5, "a")
+	n2 := tr.Insert(5, "b")
+	n3 := tr.Insert(5, "c")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d after three duplicate inserts", tr.Len())
+	}
+	tr.Delete(n2)
+	if tr.Len() != 2 || !tr.Verify() {
+		t.Fatal("delete of duplicate broke treap")
+	}
+	tr.Delete(n1)
+	tr.Delete(n3)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestTreapDeleteByHandle(t *testing.T) {
+	tr := intTreap()
+	nodes := map[int]*TreapNode[int, string]{}
+	for _, v := range []int{4, 8, 15, 16, 23, 42} {
+		nodes[v] = tr.Insert(v, "")
+	}
+	tr.Delete(nodes[15])
+	tr.Delete(nodes[4])
+	if !tr.Verify() {
+		t.Fatal("treap invariants broken after handle deletes")
+	}
+	var got []int
+	tr.Ascend(func(n *TreapNode[int, string]) bool {
+		got = append(got, n.Key)
+		return true
+	})
+	want := []int{8, 16, 23, 42}
+	if len(got) != len(want) {
+		t.Fatalf("remaining keys %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("remaining keys %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTreapDoubleDeletePanics(t *testing.T) {
+	tr := intTreap()
+	n := tr.Insert(1, "")
+	tr.Delete(n)
+	defer expectPanic(t, "double Delete")
+	tr.Delete(n)
+}
+
+func TestTreapNilLessPanics(t *testing.T) {
+	defer expectPanic(t, "NewTreap(nil)")
+	NewTreap[int, int](nil, 1)
+}
+
+func TestTreapAscendEarlyStop(t *testing.T) {
+	tr := intTreap()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i, "")
+	}
+	count := 0
+	tr.Ascend(func(n *TreapNode[int, string]) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Fatalf("early stop visited %d nodes", count)
+	}
+}
+
+func TestTreapDeterministicShape(t *testing.T) {
+	build := func() []int {
+		tr := intTreap()
+		for i := 0; i < 100; i++ {
+			tr.Insert(i*7%100, "")
+		}
+		var keys []int
+		tr.Ascend(func(n *TreapNode[int, string]) bool {
+			keys = append(keys, n.Key)
+			return true
+		})
+		return keys
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("treap behaviour is not deterministic across builds")
+		}
+	}
+}
+
+// TestTreapRandomOperations drives the treap against a reference multiset.
+func TestTreapRandomOperations(t *testing.T) {
+	src := rng.New(7)
+	tr := intTreap()
+	var live []*TreapNode[int, string]
+	for step := 0; step < 20000; step++ {
+		if src.Intn(3) != 0 || len(live) == 0 {
+			live = append(live, tr.Insert(src.Intn(500), ""))
+		} else {
+			i := src.Intn(len(live))
+			tr.Delete(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%2000 == 0 {
+			if !tr.Verify() {
+				t.Fatalf("step %d: treap invariants broken", step)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: Len %d vs model %d", step, tr.Len(), len(live))
+			}
+			if len(live) > 0 {
+				min := live[0].Key
+				for _, n := range live {
+					if n.Key < min {
+						min = n.Key
+					}
+				}
+				if tr.Min().Key != min {
+					t.Fatalf("step %d: Min %d vs model %d", step, tr.Min().Key, min)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickTreapAscendSorted: inserting any int slice yields a sorted Ascend.
+func TestQuickTreapAscendSorted(t *testing.T) {
+	f := func(vals []int, seed uint64) bool {
+		tr := NewTreap[int, struct{}](func(a, b int) bool { return a < b }, seed)
+		for _, v := range vals {
+			tr.Insert(v, struct{}{})
+		}
+		var got []int
+		tr.Ascend(func(n *TreapNode[int, struct{}]) bool {
+			got = append(got, n.Key)
+			return true
+		})
+		if len(got) != len(vals) {
+			return false
+		}
+		return sort.IntsAreSorted(got) && tr.Verify()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

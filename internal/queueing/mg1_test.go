@@ -1,0 +1,133 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestFromZipfMoments(t *testing.T) {
+	z := rng.MustZipf(1, 50, 0.5)
+	q, err := FromZipf(z, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.ES-z.Mean()) > 1e-12 {
+		t.Fatalf("ES = %v, zipf mean = %v", q.ES, z.Mean())
+	}
+	if q.ES2 <= q.ES*q.ES {
+		t.Fatalf("E[S^2] = %v must exceed E[S]^2 = %v", q.ES2, q.ES*q.ES)
+	}
+	if math.Abs(q.Rho()-0.5) > 1e-12 {
+		t.Fatalf("rho = %v", q.Rho())
+	}
+}
+
+func TestFromZipfRejectsBadRho(t *testing.T) {
+	z := rng.MustZipf(1, 10, 0.5)
+	for _, rho := range []float64{0, 1, 1.5, -0.2} {
+		if _, err := FromZipf(z, rho); err == nil {
+			t.Errorf("rho=%v accepted", rho)
+		}
+	}
+}
+
+func TestDeterministicService(t *testing.T) {
+	// Degenerate Zipf (single value) = M/D/1: E[W] = rho*ES / (2(1-rho)).
+	z := rng.MustZipf(10, 10, 0)
+	q, err := FromZipf(z, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * 10 / (2 * 0.5)
+	if math.Abs(q.MeanWait()-want) > 1e-9 {
+		t.Fatalf("M/D/1 wait = %v, want %v", q.MeanWait(), want)
+	}
+	if q.SCV() > 1e-12 {
+		t.Fatalf("deterministic SCV = %v", q.SCV())
+	}
+}
+
+func TestLittlesLawConsistency(t *testing.T) {
+	z := rng.MustZipf(1, 50, 0.5)
+	q, _ := FromZipf(z, 0.7)
+	if math.Abs(q.MeanInSystem()-(q.MeanQueueLength()+q.Rho())) > 1e-9 {
+		t.Fatal("L != Lq + rho")
+	}
+	if q.MeanResponse() <= q.MeanWait() {
+		t.Fatal("response must exceed wait")
+	}
+}
+
+func TestMeanWaitPanicsUnstable(t *testing.T) {
+	q := MG1{Lambda: 1, ES: 2, ES2: 8}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable MeanWait did not panic")
+		}
+	}()
+	q.MeanWait()
+}
+
+// TestSimulatorMatchesPollaczekKhinchine is the headline validation: the
+// discrete-event simulator running FCFS over the Table I workload must
+// reproduce the analytical M/G/1 mean response time. A systematic deviation
+// would indicate a bug in event ordering, busy-time accounting, or the
+// Poisson arrival generator.
+func TestSimulatorMatchesPollaczekKhinchine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-sample queueing validation")
+	}
+	z := rng.MustZipf(1, 50, 0.5)
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		q, err := FromZipf(z, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.MeanResponse()
+
+		var got float64
+		seeds := []uint64{1, 2, 3}
+		for _, seed := range seeds {
+			cfg := workload.Default(rho, seed)
+			cfg.N = 60000
+			set := workload.MustGenerate(cfg)
+			sum, err := sim.Run(set, sched.NewFCFS(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += sum.AvgResponseTime
+		}
+		got /= float64(len(seeds))
+
+		// The generator uses the realized mean length for the arrival rate,
+		// and 60k transactions x 3 seeds still carry simulation noise: allow
+		// 8% relative error.
+		if rel := math.Abs(got-want) / want; rel > 0.08 {
+			t.Errorf("rho=%v: simulated E[T]=%v vs Pollaczek-Khinchine %v (rel err %.1f%%)",
+				rho, got, want, 100*rel)
+		}
+	}
+}
+
+// TestSimulatorUtilizationMatchesRho: the busy fraction up to the last
+// completion approximates the offered load at moderate rho.
+func TestSimulatorUtilizationMatchesRho(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-sample queueing validation")
+	}
+	cfg := workload.Default(0.6, 9)
+	cfg.N = 40000
+	set := workload.MustGenerate(cfg)
+	sum, err := sim.Run(set, sched.NewFCFS(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Utilization-0.6) > 0.05 {
+		t.Errorf("utilization %v, want ~0.6", sum.Utilization)
+	}
+}

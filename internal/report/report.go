@@ -1,0 +1,203 @@
+// Package report renders experiment results as aligned text tables, CSV for
+// external plotting, and quick ASCII line charts for eyeballing the shape of
+// each reproduced figure directly in a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve of an experiment figure: y-values sampled at
+// the shared x-values of the owning Figure.
+type Series struct {
+	Name string
+	Y    []float64
+	// Err holds optional 95% confidence half-widths, parallel to Y.
+	Err []float64
+}
+
+// Figure is the result of one reproduced experiment: a set of series over a
+// common x-axis, plus the labels needed to render it.
+type Figure struct {
+	ID     string // e.g. "fig10"
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// AddSeries appends a curve; the length must match the x-axis.
+func (f *Figure) AddSeries(name string, y, errs []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("report: series %q has %d points, figure %s has %d x-values", name, len(y), f.ID, len(f.X)))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y, Err: errs})
+}
+
+// Table renders the figure as an aligned text table: one row per x-value,
+// one column per series.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, len(f.X))
+	for i, x := range f.X {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			cell := trimFloat(s.Y[i])
+			if s.Err != nil && s.Err[i] > 0 {
+				cell += fmt.Sprintf("±%s", trimFloat(s.Err[i]))
+			}
+			row = append(row, cell)
+		}
+		rows[i] = row
+	}
+	b.WriteString(renderAligned(headers, rows))
+	return b.String()
+}
+
+// CSV renders the figure as RFC-4180-style comma-separated values with a
+// header row (series names never contain commas or quotes in this repo, but
+// fields are quoted defensively when needed).
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	b.WriteString(csvRow(cols))
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%g", s.Y[i]))
+		}
+		b.WriteString(csvRow(row))
+	}
+	return b.String()
+}
+
+func csvRow(fields []string) string {
+	out := make([]string, len(fields))
+	for i, field := range fields {
+		if strings.ContainsAny(field, ",\"\n") {
+			field = "\"" + strings.ReplaceAll(field, "\"", "\"\"") + "\""
+		}
+		out[i] = field
+	}
+	return strings.Join(out, ",") + "\n"
+}
+
+// Chart renders a crude ASCII line chart of the figure: one mark per series
+// per x-value on a height x width grid. It is deliberately simple — its job
+// is letting a reader confirm "SRPT crosses EDF around utilization 0.6 and
+// ASETS* tracks the lower envelope" without leaving the terminal.
+func (f *Figure) Chart(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return "(empty figure)\n"
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte("*o+x#@%&")
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Y {
+			col := 0
+			if len(f.X) > 1 {
+				col = i * (width - 1) / (len(f.X) - 1)
+			}
+			rowf := (v - ymin) / (ymax - ymin)
+			row := height - 1 - int(rowf*float64(height-1)+0.5)
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "y: %s  [%s .. %s]\n", f.YLabel, trimFloat(ymin), trimFloat(ymax))
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "+-%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "x: %s  [%s .. %s]   ", f.XLabel, trimFloat(f.X[0]), trimFloat(f.X[len(f.X)-1]))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%c=%s ", marks[si%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// trimFloat formats a float compactly: integers without decimals, otherwise
+// four significant decimals with trailing zeros trimmed.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// renderAligned lays out rows under headers with two-space gutters.
+func renderAligned(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Figure {
+	f := &Figure{
+		ID:     "figX",
+		Title:  "Sample",
+		XLabel: "utilization",
+		YLabel: "tardiness",
+		X:      []float64{0.1, 0.2, 0.3},
+	}
+	f.AddSeries("EDF", []float64{1, 2, 4}, nil)
+	f.AddSeries("SRPT", []float64{2, 2.5, 3}, []float64{0.1, 0.2, 0.3})
+	return f
+}
+
+func TestTableContainsEverything(t *testing.T) {
+	out := sample().Table()
+	for _, want := range []string{"figX", "Sample", "utilization", "EDF", "SRPT", "0.1", "0.3", "2.5", "±0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + 3 data rows + title line.
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := sample().Table()
+	lines := strings.Split(out, "\n")
+	header, sep := lines[1], lines[2]
+	if len(header) == 0 || len(sep) == 0 {
+		t.Fatal("missing header or separator")
+	}
+	if len(sep) < len("utilization") {
+		t.Error("separator shorter than first column header")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "utilization,EDF,SRPT" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,1,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	f := &Figure{ID: "q", XLabel: "x,com\"ma", X: []float64{1}}
+	f.AddSeries("plain", []float64{2}, nil)
+	out := f.CSV()
+	if !strings.Contains(out, `"x,com""ma"`) {
+		t.Errorf("quoting failed: %q", out)
+	}
+}
+
+func TestAddSeriesLengthMismatchPanics(t *testing.T) {
+	f := &Figure{ID: "f", X: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	f.AddSeries("bad", []float64{1}, nil)
+}
+
+func TestChartRenders(t *testing.T) {
+	out := sample().Chart(40, 10)
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "*=EDF") || !strings.Contains(out, "o=SRPT") {
+		t.Errorf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart has no marks")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	empty := &Figure{ID: "e", X: nil}
+	if out := empty.Chart(40, 10); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart = %q", out)
+	}
+	flat := &Figure{ID: "flat", X: []float64{1, 2}}
+	flat.AddSeries("s", []float64{5, 5}, nil)
+	if out := flat.Chart(40, 10); out == "" {
+		t.Error("flat chart empty")
+	}
+	tiny := sample().Chart(1, 1) // clamped to minimums
+	if tiny == "" {
+		t.Error("tiny chart empty")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.5:     "3.5",
+		0.12345: "0.1235", // four decimals (rounded), trimmed
+		-2:      "-2",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSinglePointChart(t *testing.T) {
+	f := &Figure{ID: "one", X: []float64{5}}
+	f.AddSeries("s", []float64{1}, nil)
+	if out := f.Chart(30, 6); out == "" {
+		t.Error("single-point chart empty")
+	}
+}

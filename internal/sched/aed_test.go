@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+func TestAEDName(t *testing.T) {
+	if NewAED(1).Name() != "AED" {
+		t.Fatal("name")
+	}
+}
+
+func TestAEDSchedulesEverything(t *testing.T) {
+	set := mustSet(t,
+		mk(0, 0, 30, 5),
+		mk(1, 0, 10, 5),
+		mk(2, 0, 20, 5),
+		mk(3, 0, 5, 2),
+	)
+	order := drive(t, NewAED(7), set)
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[txn.ID]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("duplicate %d in %v", id, order)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAEDFullCapacityIsEDF(t *testing.T) {
+	// With the initial optimistic capacity covering every transaction and
+	// all deadlines met (no shrink feedback), AED degenerates to EDF.
+	build := func() *txn.Set {
+		return mustSet(t,
+			mk(0, 0, 100, 5),
+			mk(1, 0, 20, 5),
+			mk(2, 0, 50, 5),
+		)
+	}
+	aedOrder := drive(t, NewAED(3), build())
+	edfOrder := drive(t, NewEDF(), build())
+	for i := range aedOrder {
+		if aedOrder[i] != edfOrder[i] {
+			t.Fatalf("AED %v != EDF %v on feasible workload", aedOrder, edfOrder)
+		}
+	}
+}
+
+func TestAEDHonorsDependencies(t *testing.T) {
+	set := mustSet(t,
+		mk(0, 0, 50, 5),
+		mk(1, 0, 10, 5, 0),
+	)
+	order := drive(t, NewAED(9), set)
+	if order[0] != 0 {
+		t.Fatalf("dependent scheduled first: %v", order)
+	}
+}
+
+func TestAEDDeterministicPerSeed(t *testing.T) {
+	build := func() *txn.Set {
+		return mustSet(t, mk(0, 0, 1, 9), mk(1, 0, 2, 8), mk(2, 0, 3, 7))
+	}
+	a := drive(t, NewAED(42), build())
+	b := drive(t, NewAED(42), build())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("AED not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestAEDCapacityShrinksUnderOverload(t *testing.T) {
+	// Hopeless deadlines: every HIT completion is a miss, so the feedback
+	// must shrink the capacity toward 1.
+	set := mustSet(t,
+		mk(0, 0, 0.1, 9),
+		mk(1, 0, 0.1, 8),
+		mk(2, 0, 0.1, 7),
+		mk(3, 0, 0.1, 6),
+		mk(4, 0, 0.1, 5),
+	)
+	s := NewAED(11).(*aed)
+	drive(t, s, set)
+	if s.cap >= set.Len() {
+		t.Fatalf("capacity %d did not shrink under total overload", s.cap)
+	}
+}

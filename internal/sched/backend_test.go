@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// edfLess mirrors NewEDF's comparator for backend tests.
+func edfLess(a, b *txn.Transaction) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.ID < b.ID
+}
+
+func TestBackendsProduceIdenticalSchedules(t *testing.T) {
+	build := func() *txn.Set {
+		return mustSet(t,
+			mk(0, 0, 30, 5),
+			mk(1, 0, 10, 5),
+			mk(2, 0, 20, 5),
+			mk(3, 0, 20, 2), // deadline tie with 2, broken by ID
+			mk(4, 0, 5, 1),
+		)
+	}
+	heapOrder := drive(t, NewPriorityPolicyWithBackend("EDF-heap", edfLess, BackendHeap), build())
+	treapOrder := drive(t, NewPriorityPolicyWithBackend("EDF-treap", edfLess, BackendTreap), build())
+	for i := range heapOrder {
+		if heapOrder[i] != treapOrder[i] {
+			t.Fatalf("backends diverge: heap %v vs treap %v", heapOrder, treapOrder)
+		}
+	}
+}
+
+func TestTreapBackendPopEmpty(t *testing.T) {
+	set := mustSet(t, mk(0, 5, 10, 1))
+	s := NewPriorityPolicyWithBackend("EDF-treap", edfLess, BackendTreap)
+	s.Init(set)
+	if s.Next(0) != nil {
+		t.Fatal("empty treap backend returned a transaction")
+	}
+}
+
+func TestTreapBackendPreemptReinsert(t *testing.T) {
+	set := mustSet(t, mk(0, 0, 100, 10), mk(1, 0, 50, 2))
+	s := NewPriorityPolicyWithBackend("EDF-treap", edfLess, BackendTreap)
+	s.Init(set)
+	s.OnArrival(0, set.ByID(0))
+	first := s.Next(0)
+	if first.ID != 1 && first.ID != 0 {
+		t.Fatalf("unexpected first %v", first)
+	}
+	// Only T0 has arrived, so it must be first despite the later deadline.
+	if first.ID != 0 {
+		t.Fatalf("first = T%d, want T0", first.ID)
+	}
+	first.Remaining -= 4
+	s.OnPreempt(4, first)
+	s.OnArrival(4, set.ByID(1))
+	second := s.Next(4)
+	if second.ID != 1 {
+		t.Fatalf("second = T%d, want T1 (earlier deadline)", second.ID)
+	}
+}
+
+func TestBackendNilComparatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil comparator accepted")
+		}
+	}()
+	NewPriorityPolicyWithBackend("X", nil, BackendTreap)
+}

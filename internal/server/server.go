@@ -1,0 +1,259 @@
+// Package server exposes a live ASETS*-scheduled transaction stream over
+// HTTP: the kind of web-database front end the paper targets, reduced to
+// its observable essentials. A workload replays through the online executor
+// while the server reports progress — current queue state, tardiness so
+// far, recent completions — as JSON APIs and a self-refreshing HTML
+// dashboard.
+//
+// Endpoints:
+//
+//	GET /              HTML dashboard (auto-refreshing)
+//	GET /api/stats     executor statistics snapshot (JSON)
+//	GET /api/recent    most recent completions, newest first (JSON)
+//	GET /api/workload  the full workload being replayed (JSON)
+//	GET /healthz       liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/executor"
+	"repro/internal/sched"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// completionRing keeps the last N completions for /api/recent.
+const completionRing = 256
+
+// Completion is one finished transaction as reported by /api/recent.
+type Completion struct {
+	ID        txn.ID  `json:"id"`
+	Finish    float64 `json:"finish"`
+	Deadline  float64 `json:"deadline"`
+	Tardiness float64 `json:"tardiness"`
+	Weight    float64 `json:"weight"`
+}
+
+// Server hosts the dashboard for one executor run. Create with New, mount
+// anywhere via http.Handler, and call Start to begin the replay.
+type Server struct {
+	set    *txn.Set
+	cfg    *workload.Config
+	policy string
+	exec   *executor.Executor
+	mux    *http.ServeMux
+
+	mu     sync.Mutex
+	recent []Completion // ring buffer, next points at the oldest slot
+	next   int
+	total  int
+
+	runOnce sync.Once
+	runErr  error
+	done    chan struct{}
+}
+
+// New builds a server that will replay set under the given scheduler. cfg
+// is optional provenance served by /api/workload.
+func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts executor.Options) *Server {
+	s := &Server{
+		set:    set,
+		cfg:    cfg,
+		policy: policy.Name(),
+		mux:    http.NewServeMux(),
+		done:   make(chan struct{}),
+	}
+	userComplete := opts.OnComplete
+	opts.OnComplete = func(t *txn.Transaction, finish float64) {
+		s.record(t, finish)
+		if userComplete != nil {
+			userComplete(t, finish)
+		}
+	}
+	s.exec = executor.New(policy, set, opts)
+
+	s.mux.HandleFunc("GET /", s.handleDashboard)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/recent", s.handleRecent)
+	s.mux.HandleFunc("GET /api/workload", s.handleWorkload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Start launches the replay in a background goroutine (idempotent). The
+// returned channel closes when the replay finishes or ctx is cancelled.
+func (s *Server) Start(ctx context.Context) <-chan struct{} {
+	s.runOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			_, err := s.exec.Run(ctx)
+			s.mu.Lock()
+			s.runErr = err
+			s.mu.Unlock()
+		}()
+	})
+	return s.done
+}
+
+// Err returns the replay error, if any, once the run has ended.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+func (s *Server) record(t *txn.Transaction, finish float64) {
+	c := Completion{
+		ID:        t.ID,
+		Finish:    finish,
+		Deadline:  t.Deadline,
+		Tardiness: t.Tardiness(),
+		Weight:    t.Weight,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.recent) < completionRing {
+		s.recent = append(s.recent, c)
+	} else {
+		s.recent[s.next] = c
+		s.next = (s.next + 1) % completionRing
+	}
+	s.total++
+}
+
+// recentSnapshot returns up to limit completions, newest first.
+func (s *Server) recentSnapshot(limit int) []Completion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.recent)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Completion, 0, limit)
+	for i := 0; i < limit; i++ {
+		// Newest element sits just before next (mod n).
+		idx := (s.next - 1 - i + 2*n) % n
+		out = append(out, s.recent[idx])
+	}
+	return out
+}
+
+// statsPayload is the /api/stats response document.
+type statsPayload struct {
+	Policy       string  `json:"policy"`
+	N            int     `json:"n"`
+	Now          float64 `json:"now"`
+	Submitted    int     `json:"submitted"`
+	Completed    int     `json:"completed"`
+	Running      int     `json:"running"` // -1 when idle
+	AvgTardiness float64 `json:"avg_tardiness"`
+	MaxTardiness float64 `json:"max_tardiness"`
+	Misses       int     `json:"misses"`
+	Done         bool    `json:"done"`
+}
+
+func (s *Server) statsNow() statsPayload {
+	st := s.exec.Stats()
+	return statsPayload{
+		Policy:       s.policy,
+		N:            s.set.Len(),
+		Now:          st.Now,
+		Submitted:    st.Submitted,
+		Completed:    st.Completed,
+		Running:      int(st.Running),
+		AvgTardiness: st.AvgTardiness(),
+		MaxTardiness: st.MaxTardiness,
+		Misses:       st.Misses,
+		Done:         s.exec.Done(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.statsNow())
+}
+
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	writeJSON(w, s.recentSnapshot(limit))
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := workload.WriteJSON(w, s.set, s.cfg); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><title>ASETS* live scheduler</title>
+<meta http-equiv="refresh" content="1">
+<style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #999; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+.tardy { color: #b00; }
+</style></head><body>
+<h2>{{.Stats.Policy}} — live web-transaction scheduling</h2>
+<p>simulated time {{printf "%.1f" .Stats.Now}} |
+submitted {{.Stats.Submitted}}/{{.Stats.N}} |
+completed {{.Stats.Completed}} |
+misses {{.Stats.Misses}} |
+avg tardiness {{printf "%.3f" .Stats.AvgTardiness}} |
+max {{printf "%.2f" .Stats.MaxTardiness}}
+{{if .Stats.Done}}| <b>done</b>{{end}}</p>
+<table>
+<tr><th>txn</th><th>finish</th><th>deadline</th><th>tardiness</th><th>weight</th></tr>
+{{range .Recent}}
+<tr><td>T{{.ID}}</td><td>{{printf "%.2f" .Finish}}</td><td>{{printf "%.2f" .Deadline}}</td>
+<td{{if gt .Tardiness 0.0}} class="tardy"{{end}}>{{printf "%.2f" .Tardiness}}</td>
+<td>{{.Weight}}</td></tr>
+{{end}}
+</table>
+</body></html>`))
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Stats  statsPayload
+		Recent []Completion
+	}{s.statsNow(), s.recentSnapshot(20)}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

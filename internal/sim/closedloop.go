@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// ClosedLoopResult aggregates a closed-loop run.
+type ClosedLoopResult struct {
+	// Summary holds the standard per-transaction metrics.
+	Summary *metrics.Summary
+	// PageLatencies holds, per session and page, the time from request to
+	// full render.
+	PageLatencies [][]float64
+	// AbandonRate is the fraction of pages whose render latency exceeded
+	// the page's patience bound (see RunClosedLoop's patience parameter).
+	AbandonRate float64
+}
+
+// RunClosedLoop simulates sessions against a single backend under the given
+// policy. Transactions exist up front (the scheduler sees a fixed universe)
+// but their arrival times are determined during simulation: all
+// transactions of a page arrive when the page is requested, which happens a
+// think time after the previous page of the same session finished.
+//
+// The set's Arrival fields are ignored as absolute times; each
+// transaction's Deadline must be stored RELATIVE to its page request (the
+// closed-loop generator in the workload package does this). patience is the
+// page-level abandonment bound: a page whose render latency exceeds
+// patience counts as abandoned (the session still continues — the paper's
+// lost-revenue framing needs the rate, and cancelling in-flight work would
+// change the offered load mid-run).
+func RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler, patience float64) (*ClosedLoopResult, error) {
+	n := set.Len()
+	if err := validateSessions(set, sessions); err != nil {
+		return nil, err
+	}
+	set.ResetAll()
+	s.Init(set)
+
+	// Arrival and Deadline are rewritten from relative to absolute as pages
+	// are issued; restore the originals afterwards so the set can be
+	// replayed under another policy.
+	origArrival := make([]float64, n)
+	origDeadline := make([]float64, n)
+	for i, t := range set.Txns {
+		origArrival[i] = t.Arrival
+		origDeadline[i] = t.Deadline
+	}
+	defer func() {
+		for i, t := range set.Txns {
+			t.Arrival = origArrival[i]
+			t.Deadline = origDeadline[i]
+		}
+	}()
+
+	type pageState struct {
+		session   int
+		index     int
+		requested float64
+		remaining int // unfinished transactions
+	}
+	pageOf := make([]*pageState, n) // transaction -> its page
+	nextPage := make([]int, len(sessions))
+
+	// Pending page-request events, ordered by time.
+	type request struct {
+		at      float64
+		session int
+	}
+	var requests []request
+	for si, sess := range sessions {
+		if len(sess.Pages) > 0 {
+			requests = append(requests, request{at: sess.ThinkTimes[0], session: si})
+		}
+	}
+	sortRequests := func() {
+		sort.Slice(requests, func(i, j int) bool {
+			if requests[i].at != requests[j].at {
+				return requests[i].at < requests[j].at
+			}
+			return requests[i].session < requests[j].session
+		})
+	}
+	sortRequests()
+
+	latencies := make([][]float64, len(sessions))
+	for si, sess := range sessions {
+		latencies[si] = make([]float64, len(sess.Pages))
+	}
+
+	var (
+		now     float64
+		done    int
+		busy    float64
+		steps   int
+		running *txn.Transaction
+	)
+	maxSteps := 16*n + 64
+
+	// issue submits the next page of a session at time at.
+	issue := func(at float64, si int) {
+		sess := sessions[si]
+		pi := nextPage[si]
+		nextPage[si]++
+		ps := &pageState{session: si, index: pi, requested: at, remaining: len(sess.Pages[pi])}
+		for _, id := range sess.Pages[pi] {
+			t := set.ByID(id)
+			t.Arrival = at
+			t.Deadline = at + t.Deadline // stored relative; now absolute
+			pageOf[id] = ps
+			s.OnArrival(at, t)
+		}
+	}
+	deliver := func(upTo float64) {
+		for len(requests) > 0 && requests[0].at <= upTo {
+			issue(requests[0].at, requests[0].session)
+			requests = requests[1:]
+		}
+	}
+
+	for done < n {
+		steps++
+		if steps > maxSteps {
+			return nil, fmt.Errorf("sim: closed loop exceeded %d steps with %d/%d complete", maxSteps, done, n)
+		}
+		if running == nil {
+			running = s.Next(now)
+		}
+		if running == nil {
+			if len(requests) == 0 {
+				return nil, fmt.Errorf("sim: closed loop idle with %d/%d complete and no pending requests", done, n)
+			}
+			now = requests[0].at
+			deliver(now)
+			continue
+		}
+		t := running
+		finish := now + t.Remaining
+		if len(requests) > 0 && requests[0].at < finish {
+			at := requests[0].at
+			t.Remaining -= at - now
+			now = at
+			running = nil
+			s.OnPreempt(now, t)
+			deliver(now)
+			continue
+		}
+		busy += t.Remaining
+		now = finish
+		t.Remaining = 0
+		t.Finished = true
+		t.FinishTime = now
+		done++
+		running = nil
+		s.OnCompletion(now, t)
+
+		// Page bookkeeping: when the last transaction of a page finishes,
+		// record the latency and schedule the session's next request.
+		ps := pageOf[t.ID]
+		ps.remaining--
+		if ps.remaining == 0 {
+			lat := now - ps.requested
+			latencies[ps.session][ps.index] = lat
+			sess := sessions[ps.session]
+			if next := ps.index + 1; next < len(sess.Pages) {
+				requests = append(requests, request{at: now + sess.ThinkTimes[next], session: ps.session})
+				sortRequests()
+			}
+		}
+		deliver(now)
+	}
+
+	summary, err := metrics.Compute(set, busy)
+	if err != nil {
+		return nil, err
+	}
+	abandoned, pages := 0, 0
+	for _, sess := range latencies {
+		for _, lat := range sess {
+			pages++
+			if patience > 0 && lat > patience {
+				abandoned++
+			}
+		}
+	}
+	res := &ClosedLoopResult{Summary: summary, PageLatencies: latencies}
+	if pages > 0 {
+		res.AbandonRate = float64(abandoned) / float64(pages)
+	}
+	return res, nil
+}
+
+// validateSessions checks that the sessions partition the transaction set.
+func validateSessions(set *txn.Set, sessions []txn.Session) error {
+	seen := make([]bool, set.Len())
+	count := 0
+	for si, sess := range sessions {
+		if len(sess.ThinkTimes) != len(sess.Pages) {
+			return fmt.Errorf("sim: session %d has %d pages but %d think times", si, len(sess.Pages), len(sess.ThinkTimes))
+		}
+		for pi, page := range sess.Pages {
+			if len(page) == 0 {
+				return fmt.Errorf("sim: session %d page %d is empty", si, pi)
+			}
+			for _, id := range page {
+				if id < 0 || int(id) >= set.Len() {
+					return fmt.Errorf("sim: session %d references unknown transaction %d", si, id)
+				}
+				if seen[id] {
+					return fmt.Errorf("sim: transaction %d appears in two pages", id)
+				}
+				seen[id] = true
+				count++
+			}
+		}
+	}
+	if count != set.Len() {
+		return fmt.Errorf("sim: sessions cover %d of %d transactions", count, set.Len())
+	}
+	return nil
+}

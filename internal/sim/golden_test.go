@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// scheduleDigest hashes a schedule's exact slice sequence. Any change to a
+// policy's decisions, the simulator's event ordering, or the workload
+// generator's stream consumption changes the digest.
+func scheduleDigest(rec *trace.Recorder) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, s := range rec.Slices {
+		binary.LittleEndian.PutUint64(buf[:], uint64(s.ID))
+		h.Write(buf[:])
+		put(s.Start)
+		put(s.End)
+	}
+	return h.Sum64()
+}
+
+// goldenDigests pins the exact schedules of a fixed workload under each
+// policy. These values are a regression tripwire, not a specification: when
+// a deliberate behaviour change lands (e.g. a tie-break fix), rerun with
+// -run TestGoldenSchedules -v and update the constants alongside a note in
+// the commit explaining why the schedule legitimately moved.
+var goldenDigests = map[string]uint64{
+	"FCFS":   0x0273ffc0cb1ed5fd,
+	"EDF":    0x4db3ab99c3314aa5,
+	"SRPT":   0xcf2710d87c6b811d,
+	"LS":     0x31ff1aa4a1ad64ce,
+	"HDF":    0x4633300c79289b61,
+	"ASETS*": 0x151ed3fde4232f1a,
+	"Ready":  0x17569cb8c5432287,
+}
+
+func TestGoldenSchedules(t *testing.T) {
+	cfg := workload.Default(0.85, 0xA5E75).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 200
+	policies := []sched.Scheduler{
+		sched.NewFCFS(),
+		sched.NewEDF(),
+		sched.NewSRPT(),
+		sched.NewLS(),
+		sched.NewHDF(),
+		core.New(),
+		core.NewReady(),
+	}
+	for _, p := range policies {
+		set := workload.MustGenerate(cfg)
+		rec := &trace.Recorder{}
+		if _, err := Run(set, p, Options{Recorder: rec}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		got := scheduleDigest(rec)
+		want, ok := goldenDigests[p.Name()]
+		if !ok {
+			t.Fatalf("%s: no golden digest registered (got %#x)", p.Name(), got)
+		}
+		if got != want {
+			t.Errorf("%s: schedule digest %#x, golden %#x — policy behaviour changed", p.Name(), got, want)
+		}
+	}
+}
+
+// TestDigestSensitivity guards the digest itself: permuting two slices or
+// nudging a boundary must change the hash.
+func TestDigestSensitivity(t *testing.T) {
+	base := &trace.Recorder{Slices: []trace.Slice{{ID: 0, Start: 0, End: 1}, {ID: 1, Start: 1, End: 3}}}
+	swapped := &trace.Recorder{Slices: []trace.Slice{{ID: 1, Start: 1, End: 3}, {ID: 0, Start: 0, End: 1}}}
+	nudged := &trace.Recorder{Slices: []trace.Slice{{ID: 0, Start: 0, End: 1.0000001}, {ID: 1, Start: 1, End: 3}}}
+	d := scheduleDigest(base)
+	if d == scheduleDigest(swapped) {
+		t.Fatal("digest insensitive to slice order")
+	}
+	if d == scheduleDigest(nudged) {
+		t.Fatal("digest insensitive to boundary change")
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim implements the RTDBMS discrete-event simulator the paper's
+// evaluation runs on (Section IV-A built it in C++; this is the Go
+// reproduction). The model is a backend database executing transactions
+// under preemptive-resume scheduling — one server in the paper's
+// experiments, optionally several identical servers as an extension (a
+// replicated web-database backend). The scheduler is consulted only at the
+// two event types ASETS* needs — transaction arrival and transaction
+// completion — and the chosen transactions run until the next such event.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Recorder, when non-nil, receives every execution slice for later
+	// validation or visualization.
+	Recorder *trace.Recorder
+	// Servers is the number of identical backend servers (default 1, the
+	// paper's model). With S servers the scheduler's S highest-priority
+	// transactions run concurrently under global preemptive scheduling.
+	Servers int
+	// MaxSteps bounds the number of scheduling decisions as a safety net
+	// against a buggy scheduler that spins without progress. Zero selects a
+	// generous default proportional to the workload size.
+	MaxSteps int
+}
+
+// completionEpsilon absorbs float64 error when a slice boundary lands
+// numerically on a completion instant.
+const completionEpsilon = 1e-9
+
+// Run simulates set to completion under scheduler s and returns the
+// performance summary. The transactions in set are reset first, so a
+// workload can be replayed under many policies.
+//
+// Run enforces the check-out protocol documented on sched.Scheduler: every
+// transaction obtained from Next is returned through OnPreempt or
+// OnCompletion before the next Next call burst, and arrivals are delivered
+// only while no transaction is checked out.
+func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error) {
+	n := set.Len()
+	servers := opts.Servers
+	if servers == 0 {
+		servers = 1
+	}
+	if servers < 1 {
+		return nil, fmt.Errorf("sim: servers %d must be positive", opts.Servers)
+	}
+	set.ResetAll()
+	s.Init(set)
+
+	// Arrival order: by time, ties by ID for determinism.
+	order := make([]*txn.Transaction, n)
+	copy(order, set.Txns)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Arrival != order[j].Arrival {
+			return order[i].Arrival < order[j].Arrival
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		// Every iteration either completes a transaction, consumes an
+		// arrival, or idles toward one; 8n+64 leaves ample slack.
+		maxSteps = 8*n + 64
+	}
+
+	var (
+		now     float64
+		nextArr int
+		done    int
+		busy    float64
+		steps   int
+		running []*txn.Transaction
+	)
+	deliver := func(upTo float64) {
+		for nextArr < n && order[nextArr].Arrival <= upTo {
+			s.OnArrival(upTo, order[nextArr])
+			nextArr++
+		}
+	}
+
+	for done < n {
+		steps++
+		if steps > maxSteps {
+			return nil, fmt.Errorf("sim: exceeded %d scheduling steps with %d/%d transactions complete (scheduler livelock?)", maxSteps, done, n)
+		}
+
+		// Fill the free servers.
+		for len(running) < servers {
+			t := s.Next(now)
+			if t == nil {
+				break
+			}
+			if t.Finished {
+				return nil, fmt.Errorf("sim: scheduler returned finished transaction %d", t.ID)
+			}
+			if t.Arrival > now {
+				return nil, fmt.Errorf("sim: scheduler returned transaction %d before its arrival (%v > %v)", t.ID, t.Arrival, now)
+			}
+			for _, other := range running {
+				if other == t {
+					return nil, fmt.Errorf("sim: scheduler returned transaction %d to two servers", t.ID)
+				}
+			}
+			t.Started = true
+			running = append(running, t)
+		}
+
+		if len(running) == 0 {
+			if nextArr >= n {
+				return nil, fmt.Errorf("sim: no ready transaction and no future arrivals with %d/%d complete (dependency deadlock?)", done, n)
+			}
+			// Idle until the next arrival.
+			now = order[nextArr].Arrival
+			deliver(now)
+			continue
+		}
+
+		// Next event: earliest completion among running, or next arrival.
+		event := now + running[0].Remaining
+		for _, t := range running[1:] {
+			if f := now + t.Remaining; f < event {
+				event = f
+			}
+		}
+		if nextArr < n && order[nextArr].Arrival < event {
+			event = order[nextArr].Arrival
+		}
+
+		// Advance all servers to the event.
+		dt := event - now
+		for _, t := range running {
+			if opts.Recorder != nil && dt > 0 {
+				opts.Recorder.Record(t.ID, now, event)
+			}
+			t.Remaining -= dt
+			busy += dt
+		}
+		now = event
+
+		// Complete finished transactions; return the rest to the scheduler
+		// so the next fill re-decides with fresh state.
+		still := running[:0]
+		for _, t := range running {
+			if t.Remaining <= completionEpsilon {
+				t.Remaining = 0
+				t.Finished = true
+				t.FinishTime = now
+				done++
+				s.OnCompletion(now, t)
+			} else {
+				still = append(still, t)
+			}
+		}
+		for _, t := range still {
+			s.OnPreempt(now, t)
+		}
+		running = running[:0]
+		deliver(now)
+	}
+
+	return metrics.Compute(set, busy)
+}
+
+// MustRun is Run but panics on error; for examples and benchmarks where a
+// failure indicates a bug rather than a recoverable condition.
+func MustRun(set *txn.Set, s sched.Scheduler, opts Options) *metrics.Summary {
+	summary, err := Run(set, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return summary
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+func mk(id int, arrival, deadline, length float64, deps ...txn.ID) *txn.Transaction {
+	return &txn.Transaction{
+		ID:       txn.ID(id),
+		Arrival:  arrival,
+		Deadline: deadline,
+		Length:   length,
+		Weight:   1,
+		Deps:     deps,
+	}
+}
+
+func finishedSet(t *testing.T, txns ...*txn.Transaction) *txn.Set {
+	t.Helper()
+	s, err := txn.NewSet(txns)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}
+
+func finish(tx *txn.Transaction, at float64) *txn.Transaction {
+	tx.Finished = true
+	tx.FinishTime = at
+	return tx
+}
+
+func TestRecorderMergesContiguousSlices(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, 0, 2)
+	r.Record(0, 2, 5)
+	r.Record(1, 5, 6)
+	r.Record(0, 6, 7)
+	if len(r.Slices) != 3 {
+		t.Fatalf("slices = %v, want the first two merged", r.Slices)
+	}
+	if r.Slices[0] != (Slice{0, 0, 5}) {
+		t.Fatalf("merged slice = %v", r.Slices[0])
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, 0, 1)
+	r.Reset()
+	if len(r.Slices) != 0 {
+		t.Fatal("Reset did not clear slices")
+	}
+}
+
+func TestValidateAcceptsLegalSchedule(t *testing.T) {
+	set := finishedSet(t,
+		finish(mk(0, 0, 10, 5), 5),
+		finish(mk(1, 1, 20, 3), 8),
+	)
+	r := &Recorder{}
+	r.Record(0, 0, 5)
+	r.Record(1, 5, 8)
+	if err := r.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	set := finishedSet(t,
+		finish(mk(0, 0, 10, 5), 5),
+		finish(mk(1, 0, 20, 3), 7),
+	)
+	r := &Recorder{}
+	r.Record(0, 0, 5)
+	r.Record(1, 4, 7) // overlaps the first slice
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v, want overlap", err)
+	}
+}
+
+func TestValidateRejectsExecutionBeforeArrival(t *testing.T) {
+	set := finishedSet(t, finish(mk(0, 3, 10, 5), 8))
+	r := &Recorder{}
+	r.Record(0, 2, 7) // starts before arrival 3
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Fatalf("err = %v, want arrival violation", err)
+	}
+}
+
+func TestValidateRejectsWrongService(t *testing.T) {
+	set := finishedSet(t, finish(mk(0, 0, 10, 5), 4))
+	r := &Recorder{}
+	r.Record(0, 0, 4) // only 4 of 5 units
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "service") {
+		t.Fatalf("err = %v, want service mismatch", err)
+	}
+}
+
+func TestValidateRejectsFinishTimeMismatch(t *testing.T) {
+	set := finishedSet(t, finish(mk(0, 0, 10, 5), 9))
+	r := &Recorder{}
+	r.Record(0, 0, 5) // last slice ends at 5, finish recorded as 9
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "finish time") {
+		t.Fatalf("err = %v, want finish mismatch", err)
+	}
+}
+
+func TestValidateRejectsPrecedenceViolation(t *testing.T) {
+	// T1 depends on T0 but runs first.
+	set := finishedSet(t,
+		finish(mk(0, 0, 10, 5), 8),
+		finish(mk(1, 0, 20, 3, 0), 3),
+	)
+	r := &Recorder{}
+	r.Record(1, 0, 3) // dependent runs before its dependency
+	r.Record(0, 3, 8)
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "dependency") {
+		t.Fatalf("err = %v, want precedence violation", err)
+	}
+}
+
+func TestValidateRejectsUnfinished(t *testing.T) {
+	set := finishedSet(t, mk(0, 0, 10, 5))
+	r := &Recorder{}
+	r.Record(0, 0, 5)
+	if err := r.Validate(set); err == nil || !strings.Contains(err.Error(), "never finished") {
+		t.Fatalf("err = %v, want unfinished detection", err)
+	}
+}
+
+func TestValidateRejectsEmptySlice(t *testing.T) {
+	set := finishedSet(t, finish(mk(0, 0, 10, 5), 5))
+	r := &Recorder{}
+	r.Slices = []Slice{{0, 3, 3}} // zero-duration inserted by hand
+	if err := r.Validate(set); err == nil {
+		t.Fatal("zero-duration slice accepted")
+	}
+}
+
+func TestValidatePreemptiveResume(t *testing.T) {
+	// Legal preemptive schedule: T0 runs 0-4, T1 runs 4-6, T0 resumes 6-12.
+	set := finishedSet(t,
+		finish(mk(0, 0, 100, 10), 12),
+		finish(mk(1, 4, 100, 2), 6),
+	)
+	r := &Recorder{}
+	r.Record(0, 0, 4)
+	r.Record(1, 4, 6)
+	r.Record(0, 6, 12)
+	if err := r.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Preemptions(set); got != 1 {
+		t.Fatalf("preemptions = %d", got)
+	}
+	if got := r.BusyTime(); got != 12 {
+		t.Fatalf("busy = %v", got)
+	}
+	svc := r.PerTxnService(2)
+	if svc[0] != 10 || svc[1] != 2 {
+		t.Fatalf("service = %v", svc)
+	}
+}
+
+func TestSortedByStart(t *testing.T) {
+	r := &Recorder{}
+	r.Slices = []Slice{{0, 5, 6}, {1, 0, 2}, {2, 3, 4}}
+	sorted := r.SortedByStart()
+	if sorted[0].Start != 0 || sorted[1].Start != 3 || sorted[2].Start != 5 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	// Original untouched.
+	if r.Slices[0].Start != 5 {
+		t.Fatal("SortedByStart mutated the recorder")
+	}
+}

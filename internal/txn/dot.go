@@ -1,0 +1,42 @@
+package txn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the dependency graph of s in Graphviz DOT format: one
+// node per transaction (labelled with id, length, deadline and weight), one
+// edge per direct dependency, and one dashed cluster per workflow. It is a
+// documentation and debugging aid — `workloadgen | dot -Tsvg` gives a
+// picture of exactly what the scheduler saw.
+func WriteDOT(w io.Writer, s *Set) error {
+	var b strings.Builder
+	b.WriteString("digraph workload {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+
+	for _, t := range s.Txns {
+		fmt.Fprintf(&b, "  t%d [label=\"T%d\\nl=%g d=%.1f w=%g\"];\n",
+			t.ID, t.ID, t.Length, t.Deadline, t.Weight)
+	}
+	for _, t := range s.Txns {
+		for _, d := range t.Deps {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", d, t.ID)
+		}
+	}
+	for _, wf := range BuildWorkflows(s) {
+		if len(wf.Members) < 2 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_wf%d {\n    label=\"workflow %d (root T%d)\";\n    style=dashed;\n", wf.ID, wf.ID, wf.Root)
+		for _, id := range wf.Members {
+			fmt.Fprintf(&b, "    t%d;\n", id)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,45 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	s := mustSet(t,
+		mk(0, 0, 10, 2),
+		mk(1, 0, 5, 1, 0),
+		mk(2, 0, 20, 3),
+	)
+	var b strings.Builder
+	if err := WriteDOT(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph workload",
+		"t0 [label=\"T0",
+		"t0 -> t1;",
+		"cluster_wf0",
+		"root T1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Singleton workflow (T2) must not get a cluster.
+	if strings.Contains(out, "root T2") {
+		t.Error("singleton workflow rendered as cluster")
+	}
+}
+
+func TestWriteDOTEmpty(t *testing.T) {
+	s := mustSet(t)
+	var b strings.Builder
+	if err := WriteDOT(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph") {
+		t.Error("empty set produced no graph skeleton")
+	}
+}

@@ -1,0 +1,59 @@
+package txn
+
+import "testing"
+
+func TestEarliestFinishTimesStaggeredArrivals(t *testing.T) {
+	// Ancestor arrives at 0 (len 4, EFT 4); dependent arrives at 10 (len 2):
+	// chain does NOT serialize after the dependent's arrival — EFT is 12,
+	// not 10 + 4 + 2.
+	s := mustSet(t,
+		mk(0, 0, 100, 4),
+		mk(1, 10, 100, 2, 0),
+	)
+	eft, err := EarliestFinishTimes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eft[0] != 4 || eft[1] != 12 {
+		t.Fatalf("eft = %v, want [4 12]", eft)
+	}
+}
+
+func TestEarliestFinishTimesBlockedByLateAncestor(t *testing.T) {
+	// Dependent arrives at 0 but its ancestor only at 10: EFT respects the
+	// ancestor's arrival.
+	s := mustSet(t,
+		mk(0, 10, 100, 4),
+		mk(1, 0, 100, 2, 0),
+	)
+	eft, err := EarliestFinishTimes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eft[1] != 16 {
+		t.Fatalf("eft[1] = %v, want 16 (ancestor finishes 14, then 2)", eft[1])
+	}
+}
+
+// TestEFTLowerBoundsSimulatedFinishes: for generated workloads under any
+// policy, every finish time must be at or above the structural bound.
+func TestEFTLowerBoundsSimulatedFinishes(t *testing.T) {
+	// Built in the sim package's tests would cause an import cycle here;
+	// instead verify the invariant on hand-run schedules in criticalpath
+	// tests and on simulated workloads in the experiments suite. Here,
+	// check consistency: EFT >= arrival + length always.
+	s := mustSet(t,
+		mk(0, 3, 100, 4),
+		mk(1, 1, 100, 2, 0),
+		mk(2, 0, 100, 5),
+	)
+	eft, err := EarliestFinishTimes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range s.Txns {
+		if eft[tx.ID] < tx.Arrival+tx.Length {
+			t.Fatalf("eft[%d] = %v below arrival+length %v", tx.ID, eft[tx.ID], tx.Arrival+tx.Length)
+		}
+	}
+}

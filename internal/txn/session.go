@@ -1,0 +1,19 @@
+package txn
+
+// Session describes one simulated user in a closed-loop run: a sequence of
+// page requests, each materialized by a workflow of transactions. The user
+// requests page j+1 only after page j has fully rendered, following an
+// exponential think time — the interactive-session model of the paper's
+// introduction, where slow pages directly delay (and frustrate) the user.
+type Session struct {
+	// Pages lists, per page, the IDs of the transactions that materialize
+	// it. All transactions of a page are submitted together when the page
+	// is requested; their deadlines are interpreted relative to the request
+	// instant (the generator stores relative deadlines; see Workload
+	// construction in ClosedLoop).
+	Pages [][]ID
+	// ThinkTimes holds the think time preceding each page request: page 0
+	// is requested at ThinkTimes[0] after the session starts, page j at
+	// ThinkTimes[j] after page j-1 rendered.
+	ThinkTimes []float64
+}

@@ -1,0 +1,273 @@
+// Package txn defines the transaction and workflow model of the paper
+// "Adaptive Scheduling of Web Transactions" (ICDE 2009): web transactions
+// with arrival times, soft deadlines, processing lengths, weights and
+// dependency lists (Definition 1), slack (Definition 2), and workflows —
+// dependency-closed sets of transactions rooted at transactions that appear
+// in no dependency list (Section II-A).
+package txn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a transaction within one workload. IDs are dense indices
+// assigned by the workload generator, which lets schedulers use slices
+// instead of maps for per-transaction bookkeeping.
+type ID int
+
+// Transaction models one web transaction T_i (Definition 1 of the paper).
+// The scheduling-time fields (Remaining, Started, Finished, FinishTime) are
+// mutated by the simulator; everything else is immutable workload data.
+type Transaction struct {
+	// ID is the dense workload-local identifier of the transaction.
+	ID ID
+	// Arrival is a_i, the time the transaction is submitted to the system.
+	Arrival float64
+	// Deadline is d_i, the soft deadline derived from the fragment's SLA.
+	Deadline float64
+	// Length is l_i (also called r_i at submission), the total processing
+	// time the transaction needs on the backend database.
+	Length float64
+	// Weight is w_i, the importance of the transaction's fragment. Unit
+	// weights reduce weighted tardiness to plain tardiness.
+	Weight float64
+	// Deps is l_i, the direct dependency list: IDs of transactions whose
+	// output this transaction consumes. Empty means independent.
+	Deps []ID
+
+	// Remaining is the processing time still needed; the simulator
+	// decrements it as the transaction runs (preemptive-resume).
+	Remaining float64
+	// Started reports whether the transaction has received any service.
+	Started bool
+	// Finished reports whether the transaction has completed.
+	Finished bool
+	// FinishTime is f_i, valid only once Finished is true.
+	FinishTime float64
+}
+
+// Slack returns s_i = d_i - (now + Remaining) (Definition 2): the extra time
+// the transaction can wait and still meet its deadline if executed without
+// further interruption.
+func (t *Transaction) Slack(now float64) float64 {
+	return t.Deadline - (now + t.Remaining)
+}
+
+// CanMeetDeadline reports whether the transaction would still meet its
+// deadline if it started executing now (Definition 6 membership test for the
+// EDF-List).
+func (t *Transaction) CanMeetDeadline(now float64) bool {
+	return now+t.Remaining <= t.Deadline
+}
+
+// Tardiness returns t_i given a finish time (Definition 3): zero when the
+// transaction finished by its deadline, otherwise the overrun.
+func (t *Transaction) Tardiness() float64 {
+	if !t.Finished || t.FinishTime <= t.Deadline {
+		return 0
+	}
+	return t.FinishTime - t.Deadline
+}
+
+// Density returns w_i / r_i, the HDF priority. It panics on a non-positive
+// remaining time because a finished transaction has no meaningful density.
+func (t *Transaction) Density() float64 {
+	if t.Remaining <= 0 {
+		panic(fmt.Sprintf("txn: Density of transaction %d with remaining %v", t.ID, t.Remaining))
+	}
+	return t.Weight / t.Remaining
+}
+
+// Independent reports whether the transaction has an empty dependency list.
+func (t *Transaction) Independent() bool { return len(t.Deps) == 0 }
+
+// Reset restores the scheduling-time state so a workload can be replayed
+// under another policy.
+func (t *Transaction) Reset() {
+	t.Remaining = t.Length
+	t.Started = false
+	t.Finished = false
+	t.FinishTime = 0
+}
+
+// String renders a compact human-readable summary for traces and examples.
+func (t *Transaction) String() string {
+	return fmt.Sprintf("T%d{a=%.2f d=%.2f l=%.2f w=%.1f deps=%v}",
+		t.ID, t.Arrival, t.Deadline, t.Length, t.Weight, t.Deps)
+}
+
+// Set is an immutable-by-convention collection of transactions indexed by ID
+// (Txns[i].ID == i always holds after Validate).
+type Set struct {
+	Txns []*Transaction
+	// Dependents[i] lists the IDs of transactions that directly depend on
+	// transaction i (the reverse edges of Deps). Built by Validate.
+	Dependents [][]ID
+}
+
+// NewSet wraps txns into a Set, building reverse dependency edges and
+// validating the workload invariants.
+func NewSet(txns []*Transaction) (*Set, error) {
+	s := &Set{Txns: txns}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the structural invariants a workload must satisfy: dense
+// IDs, positive lengths, non-negative arrivals, deadlines no earlier than
+// arrival, valid dependency references, and an acyclic dependency graph. It
+// also (re)builds the reverse-edge index.
+func (s *Set) Validate() error {
+	n := len(s.Txns)
+	for i, t := range s.Txns {
+		if t == nil {
+			return fmt.Errorf("txn: set slot %d is nil", i)
+		}
+		if int(t.ID) != i {
+			return fmt.Errorf("txn: transaction at slot %d has ID %d (IDs must be dense)", i, t.ID)
+		}
+		if t.Length <= 0 {
+			return fmt.Errorf("txn: transaction %d has non-positive length %v", t.ID, t.Length)
+		}
+		if t.Arrival < 0 {
+			return fmt.Errorf("txn: transaction %d has negative arrival %v", t.ID, t.Arrival)
+		}
+		if t.Deadline < t.Arrival {
+			return fmt.Errorf("txn: transaction %d has deadline %v before arrival %v", t.ID, t.Deadline, t.Arrival)
+		}
+		if t.Weight <= 0 {
+			return fmt.Errorf("txn: transaction %d has non-positive weight %v", t.ID, t.Weight)
+		}
+		seen := make(map[ID]bool, len(t.Deps))
+		for _, d := range t.Deps {
+			if d < 0 || int(d) >= n {
+				return fmt.Errorf("txn: transaction %d depends on unknown transaction %d", t.ID, d)
+			}
+			if d == t.ID {
+				return fmt.Errorf("txn: transaction %d depends on itself", t.ID)
+			}
+			if seen[d] {
+				return fmt.Errorf("txn: transaction %d lists dependency %d twice", t.ID, d)
+			}
+			seen[d] = true
+		}
+	}
+	s.Dependents = make([][]ID, n)
+	for _, t := range s.Txns {
+		for _, d := range t.Deps {
+			s.Dependents[d] = append(s.Dependents[d], t.ID)
+		}
+	}
+	if _, err := s.TopologicalOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Len returns the number of transactions in the set.
+func (s *Set) Len() int { return len(s.Txns) }
+
+// ByID returns the transaction with the given ID.
+func (s *Set) ByID(id ID) *Transaction { return s.Txns[id] }
+
+// ResetAll restores every transaction's scheduling-time state.
+func (s *Set) ResetAll() {
+	for _, t := range s.Txns {
+		t.Reset()
+	}
+}
+
+// TopologicalOrder returns the transaction IDs in an order where every
+// transaction appears after all of its dependencies, or an error if the
+// dependency graph has a cycle (which would deadlock any scheduler).
+func (s *Set) TopologicalOrder() ([]ID, error) {
+	n := len(s.Txns)
+	indeg := make([]int, n)
+	for _, t := range s.Txns {
+		indeg[t.ID] = len(t.Deps)
+	}
+	queue := make([]ID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, ID(i))
+		}
+	}
+	order := make([]ID, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, dep := range dependentsOf(s, id) {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("txn: dependency graph contains a cycle (%d of %d transactions orderable)", len(order), n)
+	}
+	return order, nil
+}
+
+func dependentsOf(s *Set, id ID) []ID {
+	if s.Dependents == nil {
+		// Validate not run yet; compute on the fly (only hit from Validate
+		// itself, which builds Dependents before calling TopologicalOrder).
+		var out []ID
+		for _, t := range s.Txns {
+			for _, d := range t.Deps {
+				if d == id {
+					out = append(out, t.ID)
+				}
+			}
+		}
+		return out
+	}
+	return s.Dependents[id]
+}
+
+// Roots returns the IDs of transactions that appear in no dependency list:
+// each one defines a workflow (Section II-A: "a workflow is defined for
+// every transaction that does not appear in any dependency list").
+func (s *Set) Roots() []ID {
+	isDep := make([]bool, len(s.Txns))
+	for _, t := range s.Txns {
+		for _, d := range t.Deps {
+			isDep[d] = true
+		}
+	}
+	var roots []ID
+	for i, used := range isDep {
+		if !used {
+			roots = append(roots, ID(i))
+		}
+	}
+	return roots
+}
+
+// Closure returns the dependency closure of id: the transaction itself plus
+// everything it transitively depends on, sorted by ID.
+func (s *Set) Closure(id ID) []ID {
+	seen := map[ID]bool{id: true}
+	stack := []ID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range s.Txns[cur].Deps {
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	out := make([]ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

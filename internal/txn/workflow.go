@@ -1,0 +1,234 @@
+package txn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Workflow is the scheduling entity of the workflow-level ASETS* policy: the
+// dependency closure of one root transaction (Section II-A). A transaction
+// may belong to several workflows when dependency DAGs share nodes; each
+// workflow tracks which of its members are still pending and exposes the
+// paper's two distinguished transactions:
+//
+//   - the head transaction (Definition 8): a pending member that is ready to
+//     execute (arrived, empty effective dependency list), and
+//   - the representative transaction (Definition 9): a virtual transaction
+//     carrying the minimum deadline, minimum remaining processing time and
+//     maximum weight over the pending members.
+type Workflow struct {
+	// ID is the workflow identifier (the dense index over roots).
+	ID int
+	// Root is the transaction that defines the workflow.
+	Root ID
+	// Members lists all transactions in the closure, sorted by ID.
+	Members []ID
+
+	pending map[ID]*Transaction
+}
+
+// Representative captures Definition 9's virtual transaction for one
+// workflow at one instant.
+type Representative struct {
+	// Deadline is the earliest deadline among pending members.
+	Deadline float64
+	// Remaining is the minimum remaining processing time among pending
+	// members.
+	Remaining float64
+	// Weight is the maximum weight among pending members.
+	Weight float64
+}
+
+// Slack returns the representative's slack at time now, analogous to
+// Definition 2 applied to the virtual transaction.
+func (r Representative) Slack(now float64) float64 {
+	return r.Deadline - (now + r.Remaining)
+}
+
+// CanMeetDeadline reports whether the workflow belongs in the EDF-List:
+// t + r_rep <= d_rep (Section III-B).
+func (r Representative) CanMeetDeadline(now float64) bool {
+	return now+r.Remaining <= r.Deadline
+}
+
+// Density returns the representative's HDF priority w_rep / r_rep.
+func (r Representative) Density() float64 {
+	if r.Remaining <= 0 {
+		panic(fmt.Sprintf("txn: representative density with remaining %v", r.Remaining))
+	}
+	return r.Weight / r.Remaining
+}
+
+// BuildWorkflows derives the workflow set from the dependency lists of s:
+// one workflow per root, containing the root's dependency closure. Workflows
+// are returned sorted by root ID and initialized with all members pending.
+func BuildWorkflows(s *Set) []*Workflow {
+	roots := s.Roots()
+	wfs := make([]*Workflow, 0, len(roots))
+	for i, root := range roots {
+		members := s.Closure(root)
+		wf := &Workflow{
+			ID:      i,
+			Root:    root,
+			Members: members,
+			pending: make(map[ID]*Transaction, len(members)),
+		}
+		for _, id := range members {
+			wf.pending[id] = s.ByID(id)
+		}
+		wfs = append(wfs, wf)
+	}
+	return wfs
+}
+
+// SingletonWorkflows wraps every transaction of s in its own one-member
+// workflow, ignoring dependency structure for grouping purposes (readiness
+// still honours dependencies — that is the scheduler's job). This grouping
+// realizes the paper's "Ready" baseline of Section III-B: dependent
+// transactions wait invisibly and surface as independent scheduling entities
+// once their dependency lists drain. On an independent workload it coincides
+// with BuildWorkflows, so transaction-level ASETS* (Section III-A) is the
+// same engine run over singleton entities.
+func SingletonWorkflows(s *Set) []*Workflow {
+	wfs := make([]*Workflow, s.Len())
+	for i, t := range s.Txns {
+		wfs[i] = &Workflow{
+			ID:      i,
+			Root:    t.ID,
+			Members: []ID{t.ID},
+			pending: map[ID]*Transaction{t.ID: t},
+		}
+	}
+	return wfs
+}
+
+// Pending returns the number of members not yet finished.
+func (w *Workflow) Pending() int { return len(w.pending) }
+
+// Done reports whether every member transaction has finished.
+func (w *Workflow) Done() bool { return len(w.pending) == 0 }
+
+// Contains reports whether id is still pending in this workflow.
+func (w *Workflow) Contains(id ID) bool {
+	_, ok := w.pending[id]
+	return ok
+}
+
+// Complete removes a finished member. It returns true when the transaction
+// was a pending member of this workflow.
+func (w *Workflow) Complete(id ID) bool {
+	if _, ok := w.pending[id]; !ok {
+		return false
+	}
+	delete(w.pending, id)
+	return true
+}
+
+// Representative recomputes Definition 9 over the pending members. It panics
+// on an empty workflow: a done workflow must leave the scheduler's lists
+// before the representative is consulted.
+func (w *Workflow) Representative() Representative {
+	return w.RepresentativeExcluding(-1)
+}
+
+// RepresentativeExcluding computes the representative over the pending
+// members excluding the transaction with the given ID (pass a negative ID
+// to exclude nothing). This implements the alternative reading of the
+// paper's Example 4, where the head and representative of a two-transaction
+// workflow are distinct transactions; DESIGN.md discusses the ambiguity and
+// core's WithHeadExcludedRep option ablates it. When the excluded
+// transaction is the only pending member it represents itself, so singleton
+// workflows keep Definition 6/7 semantics under either reading.
+func (w *Workflow) RepresentativeExcluding(exclude ID) Representative {
+	if len(w.pending) == 0 {
+		panic(fmt.Sprintf("txn: Representative of completed workflow %d", w.ID))
+	}
+	rep := Representative{
+		Deadline:  math.Inf(1),
+		Remaining: math.Inf(1),
+		Weight:    math.Inf(-1),
+	}
+	found := false
+	for _, t := range w.pending {
+		if t.ID == exclude {
+			continue
+		}
+		found = true
+		if t.Deadline < rep.Deadline {
+			rep.Deadline = t.Deadline
+		}
+		if t.Remaining < rep.Remaining {
+			rep.Remaining = t.Remaining
+		}
+		if t.Weight > rep.Weight {
+			rep.Weight = t.Weight
+		}
+	}
+	if !found {
+		return w.RepresentativeExcluding(-1)
+	}
+	return rep
+}
+
+// Head selects Definition 8's head transaction at time now: a pending member
+// that has arrived and whose dependencies (restricted to unfinished
+// transactions anywhere in the set) are all complete. The paper's chain
+// workflows have a unique head; in DAGs with shared members several members
+// can be ready simultaneously, in which case the earliest-deadline ready
+// member is returned (ties broken by highest density, then lowest ID) — the
+// generalization documented in DESIGN.md. Head returns nil when no member is
+// currently ready (e.g. the next member has not arrived yet).
+//
+// ready reports whether a given transaction is ready to execute; the
+// scheduler supplies it because readiness depends on global completion
+// state, not only on this workflow's members.
+func (w *Workflow) Head(ready func(*Transaction) bool) *Transaction {
+	var best *Transaction
+	for _, t := range w.pending {
+		if !ready(t) {
+			continue
+		}
+		if best == nil || headBefore(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// headBefore orders candidate heads: earliest deadline first, then highest
+// density, then lowest ID for full determinism.
+func headBefore(a, b *Transaction) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	da, db := a.Weight/a.Remaining, b.Weight/b.Remaining
+	if da != db {
+		return da > db
+	}
+	return a.ID < b.ID
+}
+
+// PendingIDs returns the pending member IDs sorted ascending (for tests and
+// deterministic rendering).
+func (w *Workflow) PendingIDs() []ID {
+	out := make([]ID, 0, len(w.pending))
+	for id := range w.pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset restores all members to pending (used when replaying a workload).
+func (w *Workflow) Reset(s *Set) {
+	w.pending = make(map[ID]*Transaction, len(w.Members))
+	for _, id := range w.Members {
+		w.pending[id] = s.ByID(id)
+	}
+}
+
+// String renders a compact workflow summary.
+func (w *Workflow) String() string {
+	return fmt.Sprintf("K%d{root=T%d members=%v pending=%d}", w.ID, w.Root, w.Members, len(w.pending))
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBurstyPreservesAverageRate(t *testing.T) {
+	// The ON/OFF modulation must keep the long-run offered load at the
+	// target: compare arrival horizons with and without bursts on a large
+	// sample.
+	horizon := func(b Burstiness) float64 {
+		cfg := Default(0.8, 5)
+		cfg.N = 30000
+		cfg.Bursts = b
+		set := MustGenerate(cfg)
+		return set.Txns[set.Len()-1].Arrival
+	}
+	plain := horizon(BurstNone)
+	bursty := horizon(BurstOnOff)
+	if rel := math.Abs(bursty-plain) / plain; rel > 0.06 {
+		t.Fatalf("bursty horizon %v deviates %.1f%% from plain %v", bursty, 100*rel, plain)
+	}
+}
+
+func TestBurstyIncreasesGapVariance(t *testing.T) {
+	gaps := func(b Burstiness) (mean, variance float64) {
+		cfg := Default(0.8, 7)
+		cfg.N = 30000
+		cfg.Bursts = b
+		set := MustGenerate(cfg)
+		var sum, sum2 float64
+		n := 0
+		prev := 0.0
+		for _, tx := range set.Txns {
+			g := tx.Arrival - prev
+			prev = tx.Arrival
+			sum += g
+			sum2 += g * g
+			n++
+		}
+		mean = sum / float64(n)
+		variance = sum2/float64(n) - mean*mean
+		return mean, variance
+	}
+	mPlain, vPlain := gaps(BurstNone)
+	mBurst, vBurst := gaps(BurstOnOff)
+	// Exponential gaps: variance = mean^2; modulated gaps must be
+	// overdispersed relative to that.
+	if vBurst <= vPlain*1.2 {
+		t.Fatalf("bursty gap variance %v not above plain %v", vBurst, vPlain)
+	}
+	if math.Abs(mBurst-mPlain)/mPlain > 0.1 {
+		t.Fatalf("bursty mean gap %v far from plain %v", mBurst, mPlain)
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	cfg := Default(0.8, 11)
+	cfg.N = 500
+	cfg.Bursts = BurstOnOff
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for i := range a.Txns {
+		if a.Txns[i].Arrival != b.Txns[i].Arrival {
+			t.Fatal("bursty generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the workload loader against malformed input: it must
+// either return a valid, fully-validated set or an error — never panic, and
+// never accept a structurally broken workload.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a real workload file and a few manual corpus entries.
+	cfg := Default(0.6, 1)
+	cfg.N = 20
+	set := MustGenerate(cfg.WithWorkflows(3, 1))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, set, &cfg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"transactions":[]}`)
+	f.Add(`{"version":1,"transactions":[{"id":0,"arrival":0,"deadline":1,"length":1,"weight":1}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"transactions":[{"id":0,"arrival":-5,"deadline":1,"length":1,"weight":1}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, _, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy every Set invariant.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid workload: %v", err)
+		}
+		// And must round-trip.
+		var out bytes.Buffer
+		if err := WriteJSON(&out, got, nil); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		again, _, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round-trip changed length: %d vs %d", again.Len(), got.Len())
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/txn"
+)
+
+// fileFormat is the on-disk JSON schema for generated workloads. Keeping an
+// explicit version lets the loader reject files written by incompatible
+// future revisions instead of silently misreading them.
+type fileFormat struct {
+	Version      int               `json:"version"`
+	Config       *Config           `json:"config,omitempty"`
+	Transactions []fileTransaction `json:"transactions"`
+}
+
+type fileTransaction struct {
+	ID       int      `json:"id"`
+	Arrival  float64  `json:"arrival"`
+	Deadline float64  `json:"deadline"`
+	Length   float64  `json:"length"`
+	Weight   float64  `json:"weight"`
+	Deps     []txn.ID `json:"deps,omitempty"`
+}
+
+// formatVersion is bumped on incompatible schema changes.
+const formatVersion = 1
+
+// WriteJSON serializes a workload (and, optionally, the configuration that
+// generated it) to w. The output replays identically through ReadJSON on
+// any platform.
+func WriteJSON(w io.Writer, set *txn.Set, cfg *Config) error {
+	ff := fileFormat{Version: formatVersion, Config: cfg}
+	ff.Transactions = make([]fileTransaction, set.Len())
+	for i, t := range set.Txns {
+		ff.Transactions[i] = fileTransaction{
+			ID:       int(t.ID),
+			Arrival:  t.Arrival,
+			Deadline: t.Deadline,
+			Length:   t.Length,
+			Weight:   t.Weight,
+			Deps:     t.Deps,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON loads a workload written by WriteJSON, re-validating every
+// structural invariant (dense IDs, acyclic dependencies, positive lengths).
+// The embedded config, when present, is returned for provenance.
+func ReadJSON(r io.Reader) (*txn.Set, *Config, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ff); err != nil {
+		return nil, nil, fmt.Errorf("workload: decoding: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, nil, fmt.Errorf("workload: unsupported file version %d (want %d)", ff.Version, formatVersion)
+	}
+	txns := make([]*txn.Transaction, len(ff.Transactions))
+	for i, ft := range ff.Transactions {
+		txns[i] = &txn.Transaction{
+			ID:       txn.ID(ft.ID),
+			Arrival:  ft.Arrival,
+			Deadline: ft.Deadline,
+			Length:   ft.Length,
+			Weight:   ft.Weight,
+			Deps:     ft.Deps,
+		}
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, ff.Config, nil
+}

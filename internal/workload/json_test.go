@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := Default(0.8, 99).WithWorkflows(4, 2).WithWeights()
+	cfg.N = 150
+	set := MustGenerate(cfg)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, set, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, gotCfg, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg == nil || gotCfg.Seed != 99 || gotCfg.N != 150 {
+		t.Fatalf("config round-trip: %+v", gotCfg)
+	}
+	if got.Len() != set.Len() {
+		t.Fatalf("len %d vs %d", got.Len(), set.Len())
+	}
+	for i := range set.Txns {
+		a, b := set.Txns[i], got.Txns[i]
+		if a.Arrival != b.Arrival || a.Deadline != b.Deadline ||
+			a.Length != b.Length || a.Weight != b.Weight || len(a.Deps) != len(b.Deps) {
+			t.Fatalf("transaction %d differs after round-trip", i)
+		}
+	}
+}
+
+func TestJSONWithoutConfig(t *testing.T) {
+	set := MustGenerate(Default(0.5, 1))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, set, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, cfg, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != nil {
+		t.Fatalf("config = %+v, want nil", cfg)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONRejectsWrongVersion(t *testing.T) {
+	in := `{"version": 99, "transactions": []}`
+	if _, _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadJSONRevalidates(t *testing.T) {
+	// A structurally broken workload (cycle) must be rejected on load.
+	in := `{"version": 1, "transactions": [
+		{"id": 0, "arrival": 0, "deadline": 5, "length": 1, "weight": 1, "deps": [1]},
+		{"id": 1, "arrival": 0, "deadline": 5, "length": 1, "weight": 1, "deps": [0]}
+	]}`
+	if _, _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}

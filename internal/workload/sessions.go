@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/txn"
+)
+
+// SessionConfig parameterizes the closed-loop session workload of the
+// paper's introduction: interactive users requesting dynamic pages, each
+// page materialized by a workflow of fragment transactions, with the next
+// page requested a think time after the previous one rendered.
+type SessionConfig struct {
+	// Users is the number of concurrent sessions.
+	Users int
+	// MaxPages bounds pages per session (uniform on [1, MaxPages]).
+	MaxPages int
+	// MaxFragments bounds transactions per page (uniform on [1,
+	// MaxFragments]); a page's fragments form a dependency chain like the
+	// Section II-B portfolio page.
+	MaxFragments int
+	// LengthMin/LengthMax/Alpha parameterize the Zipf length distribution
+	// (Table I values apply).
+	LengthMin int
+	LengthMax int
+	Alpha     float64
+	// KMax bounds the slack factor of the per-fragment relative deadline
+	// d = l + k*l (relative to the page request instant).
+	KMax float64
+	// WeightMin/WeightMax bound integer fragment weights.
+	WeightMin int
+	WeightMax int
+	// MeanThink is the mean exponential think time between a rendered page
+	// and the session's next request.
+	MeanThink float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultSessions returns a session workload shaped like Table I: Zipf(0.5)
+// fragment lengths on [1, 50], kmax 3, up to 4-fragment pages, and a mean
+// think time that puts the backend near the given utilization for the
+// given user population (think = users * meanPageWork / utilization -
+// meanPageWork, clamped to be positive).
+func DefaultSessions(users int, utilization float64, seed uint64) SessionConfig {
+	cfg := SessionConfig{
+		Users:        users,
+		MaxPages:     8,
+		MaxFragments: 4,
+		LengthMin:    1,
+		LengthMax:    50,
+		Alpha:        0.5,
+		KMax:         3,
+		WeightMin:    1,
+		WeightMax:    1,
+		Seed:         seed,
+	}
+	// Closed-loop utilization: each user cycles page-work + think; the
+	// backend sees roughly users * work / (work + think) offered load.
+	zipf := rng.MustZipf(cfg.LengthMin, cfg.LengthMax, cfg.Alpha)
+	meanPageWork := zipf.Mean() * float64(cfg.MaxFragments+1) / 2
+	think := float64(users)*meanPageWork/utilization - meanPageWork
+	if think < meanPageWork/10 {
+		think = meanPageWork / 10
+	}
+	cfg.MeanThink = think
+	return cfg
+}
+
+// Validate reports the first invalid parameter.
+func (c SessionConfig) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("workload: users %d must be positive", c.Users)
+	case c.MaxPages <= 0:
+		return fmt.Errorf("workload: max pages %d must be positive", c.MaxPages)
+	case c.MaxFragments <= 0:
+		return fmt.Errorf("workload: max fragments %d must be positive", c.MaxFragments)
+	case c.LengthMin <= 0 || c.LengthMax < c.LengthMin:
+		return fmt.Errorf("workload: length range [%d, %d] invalid", c.LengthMin, c.LengthMax)
+	case c.Alpha < 0:
+		return fmt.Errorf("workload: alpha %v must be non-negative", c.Alpha)
+	case c.KMax < 0:
+		return fmt.Errorf("workload: kmax %v must be non-negative", c.KMax)
+	case c.WeightMin <= 0 || c.WeightMax < c.WeightMin:
+		return fmt.Errorf("workload: weight range [%d, %d] invalid", c.WeightMin, c.WeightMax)
+	case c.MeanThink <= 0:
+		return fmt.Errorf("workload: mean think %v must be positive", c.MeanThink)
+	}
+	return nil
+}
+
+// GenerateSessions builds the transaction set and session structure for a
+// closed-loop run. Transactions carry RELATIVE deadlines (d = l + k*l,
+// interpreted from the page-request instant by sim.RunClosedLoop) and
+// Arrival 0; within a page, fragments form a dependency chain in draw order
+// with the precedence-versus-deadline conflicts arising naturally from the
+// independent slack factors.
+func GenerateSessions(cfg SessionConfig) (*txn.Set, []txn.Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(cfg.Seed)
+	zipf, err := rng.NewZipf(cfg.LengthMin, cfg.LengthMax, cfg.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var txns []*txn.Transaction
+	sessions := make([]txn.Session, cfg.Users)
+	id := 0
+	for u := 0; u < cfg.Users; u++ {
+		pages := src.IntRange(1, cfg.MaxPages)
+		sess := txn.Session{
+			Pages:      make([][]txn.ID, pages),
+			ThinkTimes: make([]float64, pages),
+		}
+		for p := 0; p < pages; p++ {
+			sess.ThinkTimes[p] = src.Exp(1 / cfg.MeanThink)
+			frags := src.IntRange(1, cfg.MaxFragments)
+			page := make([]txn.ID, frags)
+			for f := 0; f < frags; f++ {
+				l := float64(zipf.Sample(src))
+				k := src.Uniform(0, cfg.KMax)
+				t := &txn.Transaction{
+					ID:       txn.ID(id),
+					Arrival:  0,
+					Deadline: l + k*l, // relative to the page request
+					Length:   l,
+					Weight:   float64(src.IntRange(cfg.WeightMin, cfg.WeightMax)),
+				}
+				if f > 0 {
+					t.Deps = []txn.ID{page[f-1]}
+				}
+				page[f] = t.ID
+				txns = append(txns, t)
+				id++
+			}
+			sess.Pages[p] = page
+		}
+		sessions[u] = sess
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, sessions, nil
+}
