@@ -1,0 +1,120 @@
+// Command asetslint runs the repository's determinism and correctness
+// analyzers (internal/lint) over the module and prints findings as
+//
+//	file:line:col: analyzer: message
+//
+// exiting 1 when there are findings, 2 on usage or load errors, and 0 on a
+// clean tree. The analyzer battery and the policy behind it are documented
+// in docs/DETERMINISM.md; per-line suppression uses
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// Usage:
+//
+//	asetslint [-list] [dir]
+//
+// dir defaults to the current directory; the conventional "./..." spelling
+// is accepted and means the module rooted at ".". The whole module is always
+// analyzed — analyzers reason about cross-package facts (enum declarations,
+// clock seams), so there is no per-package mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer battery and scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asetslint [-list] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
+			if len(a.Include) > 0 {
+				fmt.Printf("%-26s   scope: %s\n", "", strings.Join(a.Include, ", "))
+			}
+			if len(a.Exclude) > 0 {
+				fmt.Printf("%-26s   excluded: %s\n", "", strings.Join(a.Exclude, ", "))
+			}
+		}
+		return
+	}
+
+	root := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		arg := flag.Arg(0)
+		// Accept the go-tool spelling "dir/..." for the module at dir.
+		arg = strings.TrimSuffix(arg, "...")
+		arg = strings.TrimSuffix(arg, string(filepath.Separator))
+		arg = strings.TrimSuffix(arg, "/")
+		if arg != "" {
+			root = arg
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	fset, pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asetslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(fset, pkgs, analyzers)
+	for _, d := range diags {
+		rel, err := filepath.Rel(mustGetwd(), d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "asetslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}

@@ -74,6 +74,7 @@ func main() {
 		analyze  = flag.Bool("analyze", false, "print class breakdowns, wait decomposition and tardiness histogram (implies -trace)")
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (small workloads only; implies -trace)")
 		compare  = flag.Bool("compare", false, "run every policy on the same workload")
+		invar    = flag.Bool("invariants", false, "audit ASETS* queue invariants at every decision point (asets-family policies; O(n) per decision)")
 		servers  = flag.Int("servers", 1, "number of identical backend servers")
 		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
@@ -113,7 +114,13 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			runOne(set, policies[name](), *servers, wantTrace, *analyze, *gantt)
+			// With -invariants, audit the asets-family entries of the
+			// comparison; the baselines have no ASETS* state to check.
+			s := policies[name]()
+			if *invar {
+				s = wrapInvariants(s)
+			}
+			runOne(set, s, *servers, wantTrace, *analyze, *gantt)
 		}
 		return
 	}
@@ -130,7 +137,23 @@ func main() {
 	if *balCount > 0 {
 		s = core.New(core.WithCountActivation(*balCount))
 	}
+	if *invar {
+		if _, ok := s.(*core.ASETSStar); !ok {
+			fmt.Fprintf(os.Stderr, "asetssim: -invariants audits ASETS* queue state and needs an asets-family policy, not %q\n", *policy)
+			os.Exit(2)
+		}
+		s = wrapInvariants(s)
+	}
 	runOne(set, s, *servers, wantTrace, *analyze, *gantt)
+}
+
+// wrapInvariants adds per-decision invariant auditing when s is an
+// asets-family scheduler, and returns s unchanged otherwise.
+func wrapInvariants(s sched.Scheduler) sched.Scheduler {
+	if star, ok := s.(*core.ASETSStar); ok {
+		return core.NewChecked(star)
+	}
+	return s
 }
 
 func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
@@ -177,6 +200,9 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		os.Exit(1)
 	}
 	printSummary(s.Name(), summary)
+	if c, ok := s.(*core.Checked); ok {
+		fmt.Printf("  invariants: %d decision points audited, 0 violations\n", c.Checks())
+	}
 	if rec != nil {
 		if err := rec.ValidateN(set, servers); err != nil {
 			fmt.Fprintf(os.Stderr, "asetssim: %s: INVALID SCHEDULE: %v\n", s.Name(), err)

@@ -14,10 +14,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -78,6 +81,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ctx ends on SIGINT/SIGTERM; it cancels the replay and triggers the
+	// HTTP server's graceful shutdown below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// current always points at the live server so the handler can swap in a
 	// new replay when -loop is set.
 	current := make(chan *server.Server, 1)
@@ -88,16 +96,23 @@ func main() {
 		s.ServeHTTP(w, r)
 	})
 
+	// The replay loop is joined via loopDone before main returns. Each
+	// replay runs under ctx, so cancellation both stops the executor and
+	// unblocks Wait.
+	loopDone := make(chan struct{})
 	go func() {
+		defer close(loopDone)
 		s := srv
 		nextSeed := *seed
 		for {
-			<-s.Start(context.Background())
-			if err := s.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "asetsweb: replay: %v\n", err)
+			s.Start(ctx)
+			if err := s.Wait(ctx); err != nil {
+				if ctx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "asetsweb: replay: %v\n", err)
+				}
 				return
 			}
-			if !*loop {
+			if !*loop || ctx.Err() != nil {
 				return
 			}
 			nextSeed++
@@ -114,8 +129,35 @@ func main() {
 
 	fmt.Printf("asetsweb: %s scheduling %d transactions at U=%.2f — http://localhost%s/\n",
 		*policy, *n, *util, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- hs.ListenAndServe()
+	}()
+
+	exitCode := 0
+	select {
+	case err := <-serveErr:
+		// Listener failed outright (e.g. port in use).
 		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
-		os.Exit(1)
+		exitCode = 1
+		stop()
+	case <-ctx.Done():
+		// Signal received: stop accepting requests, drain in-flight ones,
+		// then join the serve goroutine.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "asetsweb: shutdown: %v\n", err)
+			exitCode = 1
+		}
+		cancel()
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+			exitCode = 1
+		}
 	}
+
+	<-loopDone
+	os.Exit(exitCode)
 }

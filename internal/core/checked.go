@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// Checked wraps an ASETSStar and audits CheckInvariants immediately after
+// every Next call — every decision point, right after migration has run, so
+// all documented invariants must hold exactly. A violation panics with the
+// broken invariant. The wrapper is otherwise transparent and satisfies
+// sched.Scheduler, so it drops into the simulator or the live executor
+// anywhere an *ASETSStar would go.
+//
+// The audit is O(N) per decision, which turns a linear-time simulation
+// quadratic: this is an opt-in debugging harness (asetssim -invariants),
+// not a production default.
+type Checked struct {
+	*ASETSStar
+	checks int
+}
+
+// NewChecked wraps s with per-decision invariant auditing.
+func NewChecked(s *ASETSStar) *Checked { return &Checked{ASETSStar: s} }
+
+// Name implements sched.Scheduler; the suffix marks audited runs in output.
+func (c *Checked) Name() string { return c.ASETSStar.Name() + "+inv" }
+
+// Next implements sched.Scheduler, auditing the full queue state after the
+// decision and panicking on the first violated invariant.
+func (c *Checked) Next(now float64) *txn.Transaction {
+	t := c.ASETSStar.Next(now)
+	if err := c.ASETSStar.CheckInvariants(now); err != nil {
+		panic(fmt.Sprintf("core: invariant violated after %d clean decisions: %v", c.checks, err))
+	}
+	c.checks++
+	return t
+}
+
+// Checks returns how many decision points have been audited so far.
+func (c *Checked) Checks() int { return c.checks }
+
+var _ sched.Scheduler = (*Checked)(nil)

@@ -1,0 +1,40 @@
+//go:build !race
+
+// The 10k-transaction audit is quadratic by design (O(n) invariant check at
+// each of ~2n decision points); it stays well under a minute as a plain
+// test but would dominate a -race run, so the detector build skips it. The
+// small-N coverage in checked_test.go and invariants_test.go still runs
+// everywhere.
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestInvariants10kRegression: a randomized 10 000-transaction workload —
+// workflows, weights, randomized precedence order — replayed under the
+// audited scheduler with every decision point checked.
+func TestInvariants10kRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic audit")
+	}
+	cfg := workload.Default(0.9, 10007).WithWorkflows(5, 2).WithWeights()
+	cfg.N = 10000
+	cfg.Order = workload.OrderRandom
+	set := workload.MustGenerate(cfg)
+	c := NewChecked(New())
+	done, err := simRunForTest(set, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != cfg.N {
+		t.Fatalf("completed %d of %d", done, cfg.N)
+	}
+	if c.Checks() < cfg.N {
+		t.Fatalf("only %d decision points audited", c.Checks())
+	}
+	t.Logf("audited %d decision points over %d transactions", c.Checks(), cfg.N)
+}

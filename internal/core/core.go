@@ -451,13 +451,15 @@ func (a *ASETSStar) runEDFFirst(now float64, e, h *entity, headE, headH *txn.Tra
 		niE := (headE.Remaining - h.rep.Slack(now)) * h.rep.Weight
 		niH := (headH.Remaining - e.rep.Slack(now)) * e.rep.Weight
 		return niE <= niH
-	default: // RuleFig7
+	case RuleFig7:
 		// Fig. 7, lines 15-17: running E delays H's representative by the
 		// full head length; running H delays E's representative only by
 		// what E's slack cannot absorb.
 		niE := headE.Remaining * h.rep.Weight
 		niH := (headH.Remaining - e.rep.Slack(now)) * e.rep.Weight
 		return niE < niH
+	default:
+		panic(fmt.Sprintf("core: unknown decision rule %d", a.cfg.rule))
 	}
 }
 
@@ -466,6 +468,8 @@ func (a *ASETSStar) runEDFFirst(now float64, e, h *entity, headE, headH *txn.Tra
 // weight-to-deadline ratio runs regardless of the ASETS* order.
 func (a *ASETSStar) activate(now float64) *txn.Transaction {
 	switch a.cfg.activation {
+	case ActivationNone:
+		return nil
 	case ActivationTime:
 		if now < a.nextActivation {
 			return nil
@@ -482,7 +486,7 @@ func (a *ASETSStar) activate(now float64) *txn.Transaction {
 			return nil
 		}
 	default:
-		return nil
+		panic(fmt.Sprintf("core: unknown activation mode %d", a.cfg.activation))
 	}
 	return a.oldest()
 }
@@ -492,6 +496,7 @@ func (a *ASETSStar) activate(now float64) *txn.Transaction {
 func (a *ASETSStar) oldest() *txn.Transaction {
 	var best *txn.Transaction
 	var bestRatio float64
+	//lint:ignore maprange pure max under a total order (ratio, then ID) — the result is identical for every iteration order
 	for _, t := range a.readyTxns {
 		ratio := t.Weight / t.Deadline
 		if best == nil || ratio > bestRatio || (ratio == bestRatio && t.ID < best.ID) {

@@ -53,6 +53,7 @@ func (a *ASETSStar) CheckInvariants(now float64) error {
 			return fmt.Errorf("core: completed workflow %d still enqueued at t=%v", e.wf.ID, now)
 		}
 		rep := a.repOf(e)
+		//lint:ignore floatcmp cache-coherence audit: the cached representative must be bitwise identical to a recomputation, not merely close
 		if rep.Deadline != e.rep.Deadline || rep.Remaining != e.rep.Remaining || rep.Weight != e.rep.Weight {
 			return fmt.Errorf("core: workflow %d cached rep %+v != recomputed %+v at t=%v",
 				e.wf.ID, e.rep, rep, now)

@@ -1,0 +1,77 @@
+package executor
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is the executor's only window onto wall time: Now anchors the
+// replay and Sleep paces it. The seam exists for determinism — with the
+// default RealClock the executor replays a workload in scaled real time,
+// while a FakeClock replays the identical schedule instantly and
+// bit-for-bit reproducibly, because no host-clock read ever reaches the
+// scheduling logic (the nondeterminism analyzer in internal/lint enforces
+// the same property statically for the simulator packages).
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+	// Sleep waits for d to elapse on this clock or for ctx to end,
+	// returning ctx.Err() in the latter case. d is always positive.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock is the production Clock: time.Now and timer-based sleeps.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// FakeClock is a deterministic Clock for tests: Sleep advances the clock's
+// notion of now instantly instead of waiting, so a paced replay runs at
+// full speed yet observes exactly the same sequence of instants on every
+// run. The zero value starts at the zero time; that is fine, because the
+// executor only ever uses differences from its start anchor.
+//
+// FakeClock is safe for concurrent use (the executor goroutine sleeps while
+// test goroutines may read Now).
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock anchored at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it advances the fake time by d without waiting.
+// Cancellation is still honoured so tests can interrupt a replay.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return nil
+}

@@ -18,6 +18,12 @@
 // of silently injecting extra load, and a paced run produces the same
 // schedule and the same tardiness as the discrete-event simulator on the
 // same workload — a property the tests assert exactly.
+//
+// All wall-clock access goes through the Clock seam (Options.Clock): the
+// production RealClock paces against the host clock, while the FakeClock
+// replays the identical schedule instantly and deterministically. No other
+// wall-clock read exists in the executor, keeping the determinism policy of
+// docs/DETERMINISM.md intact end to end.
 package executor
 
 import (
@@ -41,6 +47,10 @@ type Options struct {
 	// every completion with the transaction and its finish time in
 	// simulated units.
 	OnComplete func(t *txn.Transaction, finish float64)
+	// Clock paces the replay. Nil selects RealClock. Injecting a FakeClock
+	// makes Run instantaneous and bit-for-bit deterministic — the only
+	// wall-clock access in the executor goes through this seam.
+	Clock Clock
 }
 
 // Stats is a point-in-time snapshot of executor progress, safe to read
@@ -88,6 +98,9 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 	if opts.TimeScale <= 0 {
 		opts.TimeScale = 200 * time.Microsecond
 	}
+	if opts.Clock == nil {
+		opts.Clock = RealClock{}
+	}
 	set.ResetAll()
 	s.Init(set)
 	return &Executor{
@@ -125,7 +138,8 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		return order[i].ID < order[j].ID
 	})
 
-	start := time.Now()
+	clock := e.opts.Clock
+	start := clock.Now()
 	wallAt := func(simT float64) time.Time {
 		return start.Add(time.Duration(simT * float64(e.opts.TimeScale)))
 	}
@@ -146,20 +160,13 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		}
 	}
 
-	// sleepUntil waits for a wall-clock instant, honouring cancellation.
+	// sleepUntil waits for a clock instant, honouring cancellation.
 	sleepUntil := func(at time.Time) error {
-		d := time.Until(at)
+		d := at.Sub(clock.Now())
 		if d <= 0 {
 			return ctx.Err()
 		}
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-timer.C:
-			return nil
-		}
+		return clock.Sleep(ctx, d)
 	}
 
 	defer func() {

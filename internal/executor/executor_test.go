@@ -2,6 +2,8 @@ package executor
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -191,4 +193,77 @@ func mustSim(t *testing.T, set *txn.Set) float64 {
 		t.Fatal(err)
 	}
 	return summary.AvgTardiness
+}
+
+// replayConfig is the workload every FakeClock test replays.
+func replayConfig(seed uint64) workload.Config {
+	cfg := workload.Default(0.9, seed)
+	cfg.N = 300
+	return cfg.WithWorkflows(5, 2).WithWeights()
+}
+
+// replayTranscript runs one FakeClock replay under ASETS* and renders every
+// completion as "T<id>@<finish bits>" — a byte-exact transcript of the
+// schedule (%x on the float keeps full precision).
+func replayTranscript(t *testing.T, seed uint64) string {
+	t.Helper()
+	set := workload.MustGenerate(replayConfig(seed))
+	var sb strings.Builder
+	ex := New(core.New(), set, Options{
+		TimeScale: time.Millisecond,
+		Clock:     NewFakeClock(time.Unix(0, 0)),
+		OnComplete: func(tx *txn.Transaction, finish float64) {
+			fmt.Fprintf(&sb, "T%d@%x\n", tx.ID, finish)
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if n, err := ex.Run(ctx); err != nil {
+		t.Fatal(err)
+	} else if n != set.Len() {
+		t.Fatalf("completed %d of %d", n, set.Len())
+	}
+	return sb.String()
+}
+
+// TestFakeClockDeterministic: with the Clock seam closed by a FakeClock, two
+// replays of the same seeded workload produce byte-identical completion
+// transcripts, and the replayed schedule matches the discrete-event
+// simulator bit for bit.
+func TestFakeClockDeterministic(t *testing.T) {
+	first := replayTranscript(t, 33)
+	if first == "" {
+		t.Fatal("empty transcript")
+	}
+	if second := replayTranscript(t, 33); second != first {
+		t.Fatalf("replays differ:\n%s\n---\n%s", first, second)
+	}
+
+	setSim := workload.MustGenerate(replayConfig(33))
+	summary, err := sim.Run(setSim, core.New(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setLive := workload.MustGenerate(replayConfig(33))
+	ex := New(core.New(), setLive, Options{
+		TimeScale: time.Millisecond,
+		Clock:     NewFakeClock(time.Unix(0, 0)),
+	})
+	if _, err := ex.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if live := ex.Stats().AvgTardiness(); live != summary.AvgTardiness {
+		t.Fatalf("fake-clock replay avg tardiness %v != simulator %v", live, summary.AvgTardiness)
+	}
+}
+
+// TestFakeClockInstant: a FakeClock replay must not consume wall time
+// proportional to the schedule (the replay spans hundreds of simulated
+// seconds at a millisecond scale; real pacing would take minutes).
+func TestFakeClockInstant(t *testing.T) {
+	startWall := time.Now()
+	replayTranscript(t, 77)
+	if elapsed := time.Since(startWall); elapsed > 10*time.Second {
+		t.Fatalf("fake-clock replay took %v of wall time", elapsed)
+	}
 }

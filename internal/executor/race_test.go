@@ -1,0 +1,103 @@
+package executor
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentStatsHammer drives Run while many goroutines read Stats and
+// Done — the executor's published concurrency contract — and joins
+// everything on shutdown. Primarily a -race target; the workload is small
+// enough to finish in tens of milliseconds without the detector.
+func TestConcurrentStatsHammer(t *testing.T) {
+	set := smallWorkload(t, 0.8, true)
+	ex := New(core.New(), set, Options{TimeScale: fastScale})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := ex.Run(ctx)
+		runDone <- err
+	}()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := ex.Stats()
+				if s.Completed > s.Submitted {
+					t.Errorf("completed %d > submitted %d", s.Completed, s.Submitted)
+					return
+				}
+				_ = ex.Done()
+			}
+		}()
+	}
+
+	if err := <-runDone; err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+	if !ex.Done() {
+		t.Fatal("Done() false after joined shutdown")
+	}
+}
+
+// TestFakeClockConcurrentReads: the FakeClock itself must be safe to read
+// while the executor advances it.
+func TestFakeClockConcurrentReads(t *testing.T) {
+	set := smallWorkload(t, 0.8, false)
+	clock := NewFakeClock(time.Unix(0, 0))
+	ex := New(core.New(), set, Options{TimeScale: time.Millisecond, Clock: clock})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := ex.Run(ctx)
+		runDone <- err
+	}()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last time.Time
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := clock.Now()
+				if now.Before(last) {
+					t.Error("fake clock went backwards")
+					return
+				}
+				last = now
+			}
+		}()
+	}
+
+	if err := <-runDone; err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+}

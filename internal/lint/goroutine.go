@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineHygiene returns the analyzer flagging goroutines launched
+// without a visible join. A goroutine counts as joined when its body (for
+// go func() literals) signals completion — a channel send, a close, or a
+// sync.WaitGroup.Done — or when the spawning function visibly synchronizes
+// with it (WaitGroup Add/Wait, a channel receive, or a select). Anything
+// else is fire-and-forget: it outlives shutdown, leaks under -race testing,
+// and can write to structures the rest of the program has already torn
+// down.
+func GoroutineHygiene() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutine-hygiene",
+		Doc: "flags go statements with no visible completion signal (WaitGroup, " +
+			"channel send/close in the goroutine, or a join in the spawning " +
+			"function); unjoined goroutines break clean shutdown",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			// Walk function by function so each go statement can consult its
+			// enclosing body.
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkGoStmts(pass, info, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// checkGoStmts reports every unjoined go statement inside body (including
+// bodies of nested function literals, each judged against its own enclosing
+// body).
+func checkGoStmts(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			if hasCompletionSignal(info, lit.Body) {
+				return true
+			}
+		}
+		if hasJoinEvidence(info, body, gs) {
+			return true
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine has no visible completion signal (sync.WaitGroup, channel send/close, "+
+				"or a join in the spawning function); unjoined goroutines outlive shutdown "+
+				"— join it or justify with //lint:ignore goroutine-hygiene")
+		return true
+	})
+}
+
+// hasCompletionSignal reports whether the goroutine body itself announces
+// completion: a channel send, a close(...), or a WaitGroup Done.
+func hasCompletionSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin || info.Uses[id] == nil {
+					found = true // builtin close, not a shadowing local
+				}
+			}
+			if isWaitGroupCall(info, n, "Done") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasJoinEvidence reports whether the function spawning the goroutine
+// visibly synchronizes with goroutines: a WaitGroup Add/Wait, a channel
+// receive, or a select statement.
+func hasJoinEvidence(info *types.Info, body *ast.BlockStmt, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if n == gs {
+				return false // do not credit the goroutine's own body
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(info, n, "Wait") || isWaitGroupCall(info, n, "Add") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is method (e.g. "Done") on a
+// sync.WaitGroup value or pointer.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

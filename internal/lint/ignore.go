@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, modeled on staticcheck's:
+//
+//	//lint:ignore analyzer1[,analyzer2] reason       one line
+//	//lint:file-ignore analyzer1[,analyzer2] reason  whole file
+//
+// A line directive suppresses findings on its own line and on the line
+// immediately below it (so it can sit at the end of the offending line or
+// alone just above it). The reason is mandatory: suppressions without a
+// recorded justification defeat the point of a determinism policy.
+
+const (
+	ignorePrefix     = "lint:ignore "
+	fileIgnorePrefix = "lint:file-ignore "
+)
+
+// directive is one parsed suppression.
+type directive struct {
+	analyzers map[string]bool
+	file      string
+	line      int  // line of the comment
+	wholeFile bool // //lint:file-ignore
+	malformed string
+	pos       token.Pos
+}
+
+// parseDirectives extracts every lint: directive from the package's
+// comments.
+func parseDirectives(fset *token.FileSet, pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var rest string
+				var wholeFile bool
+				switch {
+				case strings.HasPrefix(text, strings.TrimSpace(ignorePrefix)):
+					rest = strings.TrimPrefix(text, strings.TrimSpace(ignorePrefix))
+				case strings.HasPrefix(text, strings.TrimSpace(fileIgnorePrefix)):
+					rest = strings.TrimPrefix(text, strings.TrimSpace(fileIgnorePrefix))
+					wholeFile = true
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{
+					analyzers: map[string]bool{},
+					file:      pos.Filename,
+					line:      pos.Line,
+					wholeFile: wholeFile,
+					pos:       c.Pos(),
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					d.malformed = "directive needs an analyzer list and a reason: //lint:ignore <analyzer>[,<analyzer>] <reason>"
+				} else {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							d.analyzers[name] = true
+						}
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives reports malformed suppression directives as diagnostics
+// of the pseudo-analyzer "directive".
+func checkDirectives(fset *token.FileSet, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range parseDirectives(fset, pkg) {
+		if d.malformed != "" {
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(d.pos),
+				Analyzer: "directive",
+				Message:  d.malformed,
+			})
+		}
+	}
+	return diags
+}
+
+// filterIgnored removes diagnostics covered by a well-formed directive.
+func filterIgnored(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	perLine := map[lineKey]map[string]bool{}
+	perFile := map[string]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, d := range parseDirectives(fset, pkg) {
+			if d.malformed != "" {
+				continue
+			}
+			if d.wholeFile {
+				if perFile[d.file] == nil {
+					perFile[d.file] = map[string]bool{}
+				}
+				for a := range d.analyzers {
+					perFile[d.file][a] = true
+				}
+				continue
+			}
+			for _, line := range []int{d.line, d.line + 1} {
+				k := lineKey{d.file, line}
+				if perLine[k] == nil {
+					perLine[k] = map[string]bool{}
+				}
+				for a := range d.analyzers {
+					perLine[k][a] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if perFile[d.Pos.Filename][d.Analyzer] {
+			continue
+		}
+		if perLine[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

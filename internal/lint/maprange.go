@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange returns the analyzer flagging range statements over maps in
+// scheduler/simulator decision paths. Go randomizes map iteration order, so
+// any decision or output derived from a map walk differs between runs unless
+// the loop is order-independent (a pure max with a total tie-break, say) —
+// in which case the site carries a //lint:ignore with that argument.
+func MapRange() *Analyzer {
+	a := &Analyzer{
+		Name: "maprange",
+		Doc: "flags range loops over maps in decision-path packages, where Go's " +
+			"randomized iteration order can leak into scheduling decisions and " +
+			"simulation results; iterate a sorted key slice instead, or justify " +
+			"order-independence with //lint:ignore",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(rs.X.Pos(),
+						"range over map %s iterates in randomized order inside a decision path; "+
+							"iterate a sorted key slice, or justify order-independence with //lint:ignore maprange",
+						types.ExprString(rs.X))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/types"
+	"strconv"
+)
+
+// bannedTimeFuncs are the wall-clock reads and sleeps that make a
+// simulation run irreproducible. Pure data types (time.Duration, time.Time
+// as a value) stay legal; only the functions that observe or wait on the
+// host clock are banned.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// bannedImports maps an import path to the reason simulation code must not
+// use it.
+var bannedImports = map[string]string{
+	"math/rand":    "unseeded/global state and unstable across Go releases; use the seeded repro/internal/rng",
+	"math/rand/v2": "unstable across Go releases; use the seeded repro/internal/rng",
+	"crypto/rand":  "nondeterministic entropy; use the seeded repro/internal/rng",
+}
+
+// Nondeterminism returns the analyzer banning wall-clock reads, wall-clock
+// sleeps and unseeded randomness in simulation and decision packages. The
+// discrete-event simulator owns time; any host-clock read in those packages
+// silently breaks the bit-for-bit reproducibility the evaluation rests on.
+func Nondeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "nondeterminism",
+		Doc: "bans time.Now/Sleep/After-style wall-clock access and math/rand-style " +
+			"unseeded randomness inside simulation and scheduling-decision packages; " +
+			"simulated time and repro/internal/rng are the only legal sources",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, bad := bannedImports[path]; bad {
+					pass.Reportf(imp.Pos(), "import of %s in a determinism-scoped package: %s", path, why)
+				}
+			}
+		}
+		for id, obj := range pass.Pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads or waits on the wall clock inside a determinism-scoped package; "+
+						"use simulated event time (or inject a Clock seam as internal/executor does)", fn.Name())
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,74 @@
+// Package enums seeds non-exhaustive enum switches for the
+// exhaustive-policy-switch analyzer's self-test.
+package enums
+
+import "fmt"
+
+// Policy is a module-declared scheduling-policy enum.
+type Policy int
+
+const (
+	// PolicyEDF is earliest deadline first.
+	PolicyEDF Policy = iota
+	// PolicyHDF is highest density first.
+	PolicyHDF
+	// PolicySRPT is shortest remaining processing time.
+	PolicySRPT
+)
+
+// RouteSilent misses PolicySRPT behind a silent default: flagged.
+func RouteSilent(p Policy) string {
+	switch p { // want exhaustive-policy-switch
+	case PolicyEDF:
+		return "edf"
+	case PolicyHDF:
+		return "hdf"
+	default:
+		return "unknown"
+	}
+}
+
+// RouteMissing misses PolicySRPT with no default at all: flagged.
+func RouteMissing(p Policy) string {
+	s := ""
+	switch p { // want exhaustive-policy-switch
+	case PolicyEDF:
+		s = "edf"
+	case PolicyHDF:
+		s = "hdf"
+	}
+	return s
+}
+
+// RouteExhaustive handles every constant: legal.
+func RouteExhaustive(p Policy) string {
+	switch p {
+	case PolicyEDF:
+		return "edf"
+	case PolicyHDF:
+		return "hdf"
+	case PolicySRPT:
+		return "srpt"
+	}
+	return ""
+}
+
+// RouteFailingDefault fails loudly on unknown values: legal.
+func RouteFailingDefault(p Policy) string {
+	switch p {
+	case PolicyEDF:
+		return "edf"
+	default:
+		panic(fmt.Sprintf("unknown policy %d", p))
+	}
+}
+
+// RouteErroringDefault constructs an error in default: legal.
+func RouteErroringDefault(p Policy) (string, error) {
+	switch p {
+	case PolicyEDF:
+		return "edf", nil
+	default:
+		return "", fmt.Errorf("unknown policy %d", p)
+	}
+}

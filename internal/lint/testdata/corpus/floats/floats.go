@@ -1,0 +1,34 @@
+// Package floats seeds exact float64 comparison violations for the
+// floatcmp analyzer's self-test.
+package floats
+
+type txn struct {
+	Deadline float64
+	Slack    float64
+	Weight   float64
+}
+
+// MissedExactly compares a finish instant against a deadline exactly:
+// flagged.
+func MissedExactly(finish, deadline float64) bool {
+	return finish == deadline // want floatcmp
+}
+
+// SameSlack compares slacks of two different values exactly: flagged.
+func SameSlack(a, b txn) bool {
+	return a.Slack != b.Slack // want floatcmp
+}
+
+// SameWeight is legal: weight is not a simulated-time quantity.
+func SameWeight(a, b txn) bool { return a.Weight == b.Weight }
+
+// Less is legal: exact equality inside a comparator closure is the
+// deliberate tie-breaking idiom.
+func Less(xs []txn) func(i, j int) bool {
+	return func(i, j int) bool {
+		if xs[i].Deadline != xs[j].Deadline {
+			return xs[i].Deadline < xs[j].Deadline
+		}
+		return i < j
+	}
+}

@@ -1,0 +1,15 @@
+// Package imports exercises cross-package enum resolution: the switch tag's
+// type is declared in a different package of the same module.
+package imports
+
+import "corpus/enums"
+
+// Route misses two constants of an enum declared elsewhere in the module:
+// flagged.
+func Route(p enums.Policy) string {
+	switch p { // want exhaustive-policy-switch
+	case enums.PolicyEDF:
+		return "edf"
+	}
+	return ""
+}

@@ -1,0 +1,30 @@
+// Package maporder seeds map-iteration-order violations for the maprange
+// analyzer's self-test.
+package maporder
+
+// SumWeights happens to be order-independent, but the analyzer cannot prove
+// that; decision-path code must justify such loops with //lint:ignore.
+func SumWeights(w map[int]float64) float64 {
+	var s float64
+	for _, v := range w { // want maprange
+		s += v
+	}
+	return s
+}
+
+// FirstKey genuinely depends on iteration order: flagged.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want maprange
+		return k
+	}
+	return ""
+}
+
+// CountSlice ranges over a slice: legal.
+func CountSlice(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// Package nondet seeds wall-clock and unseeded-randomness violations for
+// the nondeterminism analyzer's self-test.
+package nondet
+
+import (
+	"math/rand" // want nondeterminism
+	"time"
+)
+
+// Tick reads the wall clock: flagged.
+func Tick() int64 {
+	return time.Now().UnixNano() // want nondeterminism
+}
+
+// Jitter sleeps on the wall clock: flagged on the sleep.
+func Jitter() float64 {
+	time.Sleep(time.Millisecond) // want nondeterminism
+	return rand.Float64()
+}
+
+// Countdown leaks wall time through a timer: flagged.
+func Countdown() {
+	<-time.After(time.Second) // want nondeterminism
+}
+
+// Elapsed is legal: time.Duration is pure data, no clock is observed.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,49 @@
+// Package spawn seeds unjoined-goroutine violations for the
+// goroutine-hygiene analyzer's self-test.
+package spawn
+
+import "sync"
+
+// FireAndForget launches a goroutine nothing ever joins: flagged.
+func FireAndForget(f func()) {
+	go f() // want goroutine-hygiene
+}
+
+// LeakyCounter mutates shared state from an unjoined goroutine: flagged.
+func LeakyCounter(n *int) {
+	go func() { // want goroutine-hygiene
+		*n++
+	}()
+}
+
+// Joined synchronizes through a WaitGroup: legal.
+func Joined(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// Signalled closes a channel the caller can wait on: legal.
+func Signalled(f func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	return done
+}
+
+// Piped announces completion by sending the result: legal.
+func Piped(f func() int) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- f()
+	}()
+	return out
+}

@@ -1,0 +1,20 @@
+// Package suppress exercises the //lint:ignore directive: every violation
+// below carries a justified suppression, so the analyzers must stay silent.
+package suppress
+
+// MaxRatio iterates a map but is a pure max under a total order.
+func MaxRatio(m map[int]float64) float64 {
+	best := -1.0
+	//lint:ignore maprange pure max; every iteration order yields the same result
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ExactDeadline documents an intentional exact comparison inline.
+func ExactDeadline(deadline, cached float64) bool {
+	return deadline == cached //lint:ignore floatcmp cache-coherence check must be exact
+}

@@ -41,10 +41,12 @@ func (p *priorityPolicy) Name() string { return p.name }
 func (p *priorityPolicy) Init(set *txn.Set) {
 	p.rt = NewReadyTracker(set)
 	switch p.backend {
+	case BackendHeap:
+		p.queue = newHeapQueue(set, p.less)
 	case BackendTreap:
 		p.queue = newTreapQueue(set, p.less)
 	default:
-		p.queue = newHeapQueue(set, p.less)
+		panic(fmt.Sprintf("sched: unknown ready-queue backend %d", p.backend))
 	}
 }
 

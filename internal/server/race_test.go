@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHammerConcurrentRequests drives every endpoint from many goroutines
+// while the replay runs, then joins everything. It exists mainly as a
+// -race target for the executor/stats/ring-buffer locking; the workload is
+// small and the time scale fast so it stays quick without the detector.
+func TestHammerConcurrentRequests(t *testing.T) {
+	s, ts := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := s.Start(ctx)
+
+	paths := []string{"/", "/api/stats", "/api/recent?limit=5", "/healthz"}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("GET %s: read: %v", path, err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(paths[i%len(paths)])
+	}
+	wg.Wait()
+
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.statsNow()
+	if !st.Done || st.Completed != st.Submitted {
+		t.Fatalf("post-hammer stats inconsistent: %+v", st)
+	}
+}
+
+// TestWaitJoinsCancelledReplay: cancelling the Start context must leave the
+// replay goroutine joinable — Wait (with a live context) returns the
+// replay's cancellation error rather than hanging or leaking.
+func TestWaitJoinsCancelledReplay(t *testing.T) {
+	s, _ := testServer(t)
+	runCtx, cancel := context.WithCancel(context.Background())
+	s.Start(runCtx)
+	cancel()
+
+	joinCtx, joinCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer joinCancel()
+	err := s.Wait(joinCtx)
+	if joinCtx.Err() != nil {
+		t.Fatal("replay goroutine not joined after cancellation")
+	}
+	if err == nil {
+		t.Fatal("cancelled replay reported nil error")
+	}
+}
+
+// TestWaitHonorsItsOwnContext: Wait must not block past its context even if
+// the replay never started.
+func TestWaitHonorsItsOwnContext(t *testing.T) {
+	s, _ := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+}

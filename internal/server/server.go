@@ -112,6 +112,19 @@ func (s *Server) Err() error {
 	return s.runErr
 }
 
+// Wait joins the replay goroutine: it blocks until the replay started by
+// Start has finished (returning its error) or until ctx ends (returning
+// ctx.Err()). Callers that cancel the Start context should still Wait so
+// the goroutine is joined before teardown.
+func (s *Server) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return s.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (s *Server) record(t *txn.Transaction, finish float64) {
 	c := Completion{
 		ID:        t.ID,

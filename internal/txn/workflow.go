@@ -199,6 +199,7 @@ func (w *Workflow) Head(ready func(*Transaction) bool) *Transaction {
 // headBefore orders candidate heads: earliest deadline first, then highest
 // density, then lowest ID for full determinism.
 func headBefore(a, b *Transaction) bool {
+	//lint:ignore floatcmp comparator tie-break: exact equality only decides which key breaks the tie, both orders are valid schedules
 	if a.Deadline != b.Deadline {
 		return a.Deadline < b.Deadline
 	}

@@ -308,7 +308,7 @@ func formChains(cfg Config, src *rng.Source, txns []*txn.Transaction) [][]int {
 			}
 			chains = append(chains, chain)
 		}
-	default: // MembersConsecutive
+	case MembersConsecutive:
 		// Each chain claims fresh transactions from the cursor onward and —
 		// when MaxMembership allows — weaves back through a trailing window
 		// of recently claimed transactions with spare capacity, so
@@ -345,6 +345,8 @@ func formChains(cfg Config, src *rng.Source, txns []*txn.Transaction) [][]int {
 				cursor++
 			}
 		}
+	default:
+		panic(fmt.Sprintf("workload: unknown chain-membership mode %d", cfg.Members))
 	}
 	return chains
 }
@@ -440,13 +442,15 @@ func orderChains(cfg Config, src *rng.Source, txns []*txn.Transaction, chains []
 		switch cfg.Order {
 		case OrderRandom:
 			src.Shuffle(len(chain), func(i, j int) { chain[i], chain[j] = chain[j], chain[i] })
-		default: // OrderArrival
+		case OrderArrival:
 			sort.Slice(chain, func(a, b int) bool {
 				if txns[chain[a]].Arrival != txns[chain[b]].Arrival {
 					return txns[chain[a]].Arrival < txns[chain[b]].Arrival
 				}
 				return chain[a] < chain[b]
 			})
+		default:
+			panic(fmt.Sprintf("workload: unknown chain-order mode %d", cfg.Order))
 		}
 		for j := 1; j < len(chain); j++ {
 			if !wouldCycle(txns, chain[j-1], chain[j]) {

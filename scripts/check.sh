@@ -1,0 +1,36 @@
+#!/bin/sh
+# check.sh — the full local gate, identical to CI.
+# Usage: scripts/check.sh [short]
+#   short: skip the -race pass (quick pre-commit loop)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+if [ "${1:-}" = "short" ]; then
+    echo "== go test (short)"
+    go test -short ./...
+else
+    echo "== go test"
+    go test ./...
+    echo "== go test -race"
+    go test -race ./...
+fi
+
+echo "== asetslint"
+go run ./cmd/asetslint ./...
+
+echo "all checks passed"
