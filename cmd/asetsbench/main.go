@@ -11,6 +11,7 @@
 //	asetsbench -csv out/               # also write one CSV per figure
 //	asetsbench -n 500 -seeds 3         # scale down for a quick look
 //	asetsbench -list                   # list experiment IDs
+//	asetsbench -obs-bench BENCH_obs.json -n 400   # instrumentation overhead
 package main
 
 import (
@@ -38,12 +39,28 @@ func main() {
 		svgDir   = flag.String("svg", "", "directory to write per-figure SVG charts into")
 		jsonDir  = flag.String("json", "", "directory to write per-figure JSON results into")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		obsBench = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *obsBench != "" {
+		f, err := os.Create(*obsBench)
+		if err == nil {
+			err = runObsBench(f, *n, 3)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: obs-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -9,6 +9,8 @@
 //	asetssim -policy asets -wf-len 5 -weights -trace
 //	asetssim -policy ready -load workload.json
 //	asetssim -compare -util 0.9           # run every policy on one workload
+//	asetssim -events out.jsonl            # decision-event stream, one JSON per line
+//	asetssim -timeline out.json           # Chrome trace-event timeline (Perfetto)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -71,6 +74,8 @@ func main() {
 		load     = flag.String("load", "", "load workload JSON instead of generating")
 		save     = flag.String("save", "", "save the generated workload JSON to this path")
 		doTrace  = flag.Bool("trace", false, "record, validate and summarize the schedule")
+		events   = flag.String("events", "", "write the scheduler decision-event stream as JSONL to this path")
+		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this path (implies -trace)")
 		analyze  = flag.Bool("analyze", false, "print class breakdowns, wait decomposition and tardiness histogram (implies -trace)")
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (small workloads only; implies -trace)")
 		compare  = flag.Bool("compare", false, "run every policy on the same workload")
@@ -106,8 +111,13 @@ func main() {
 	}
 
 	wantTrace := *doTrace || *analyze || *gantt
+	outs := obsOutputs{eventsPath: *events, timelinePath: *timeline}
 
 	if *compare {
+		if outs.eventsPath != "" || outs.timelinePath != "" {
+			fmt.Fprintln(os.Stderr, "asetssim: -events/-timeline export a single run; drop -compare")
+			os.Exit(2)
+		}
 		names := make([]string, 0, len(policies))
 		for name := range policies {
 			names = append(names, name)
@@ -120,7 +130,7 @@ func main() {
 			if *invar {
 				s = wrapInvariants(s)
 			}
-			runOne(set, s, *servers, wantTrace, *analyze, *gantt)
+			runOne(set, s, *servers, wantTrace, *analyze, *gantt, obsOutputs{})
 		}
 		return
 	}
@@ -144,7 +154,7 @@ func main() {
 		}
 		s = wrapInvariants(s)
 	}
-	runOne(set, s, *servers, wantTrace, *analyze, *gantt)
+	runOne(set, s, *servers, wantTrace, *analyze, *gantt, outs)
 }
 
 // wrapInvariants adds per-decision invariant auditing when s is an
@@ -187,17 +197,77 @@ func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
 	return set, &cfg, err
 }
 
-func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool) {
+// obsOutputs names the optional observability export paths of a run.
+type obsOutputs struct {
+	eventsPath   string // JSONL decision-event stream
+	timelinePath string // Chrome trace-event timeline (implies tracing)
+}
+
+func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs) {
 	var rec *trace.Recorder
 	opts := sim.Options{Servers: servers}
-	if doTrace {
+	if doTrace || outs.timelinePath != "" {
 		rec = &trace.Recorder{}
 		opts.Recorder = rec
 	}
+
+	// Wire the requested event exports into one sink: the JSONL writer
+	// streams to disk as the run progresses, the collector feeds the
+	// timeline exporter afterwards.
+	var (
+		sinks      []obs.Sink
+		jw         *obs.JSONLWriter
+		eventsFile *os.File
+		col        *obs.Collector
+	)
+	if outs.eventsPath != "" {
+		f, err := os.Create(outs.eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+			os.Exit(1)
+		}
+		eventsFile = f
+		jw = obs.NewJSONLWriter(f)
+		sinks = append(sinks, jw)
+	}
+	if outs.timelinePath != "" {
+		col = &obs.Collector{}
+		sinks = append(sinks, col)
+	}
+	if len(sinks) > 0 {
+		opts.Sink = obs.Tee(sinks...)
+	}
+
 	summary, err := sim.Run(set, s, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asetssim: %s: %v\n", s.Name(), err)
 		os.Exit(1)
+	}
+
+	if jw != nil {
+		err := jw.Flush()
+		if cerr := eventsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: writing %s: %v\n", outs.eventsPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  events: wrote %s\n", outs.eventsPath)
+	}
+	if col != nil {
+		f, err := os.Create(outs.timelinePath)
+		if err == nil {
+			err = obs.WriteTimeline(f, rec.Slices, col.Events())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: writing %s: %v\n", outs.timelinePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  timeline: wrote %s (load in Perfetto / chrome://tracing)\n", outs.timelinePath)
 	}
 	printSummary(s.Name(), summary)
 	if c, ok := s.(*core.Checked); ok {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -66,6 +70,70 @@ func TestBuildWorkloadFromFile(t *testing.T) {
 func TestBuildWorkloadMissingFile(t *testing.T) {
 	if _, _, err := buildWorkload("/does/not/exist.json", 0, 0, 0, 0, 0, 0, 0, false, false, false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunOneObsOutputs drives the -events/-timeline paths end to end: both
+// files must appear, parse, and the event stream must be byte-identical
+// across two fixed-seed runs.
+func TestRunOneObsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	run := func(tag string) (eventsPath, timelinePath string) {
+		eventsPath = filepath.Join(dir, tag+".jsonl")
+		timelinePath = filepath.Join(dir, tag+".json")
+		cfg := workload.Default(0.9, 11)
+		cfg.N = 120
+		set := workload.MustGenerate(cfg)
+		runOne(set, core.New(), 1, false, false, false,
+			obsOutputs{eventsPath: eventsPath, timelinePath: timelinePath})
+		return eventsPath, timelinePath
+	}
+	ev1, tl := run("a")
+	ev2, _ := run("b")
+
+	b1, err := os.ReadFile(ev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("fixed-seed -events outputs differ")
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b1))
+	lines := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if _, ok := ev["kind"]; !ok {
+			t.Fatalf("line %d missing kind: %s", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines < 240 { // at least arrival+completion per transaction
+		t.Fatalf("only %d event lines", lines)
+	}
+
+	tb, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("timeline doc = %q with %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
 	}
 }
 

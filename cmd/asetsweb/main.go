@@ -6,10 +6,12 @@
 // Usage:
 //
 //	asetsweb -addr :8080 -policy asets -util 0.9 -scale 5ms
+//	asetsweb -pprof            # additionally serve /debug/pprof/
 //	# then open http://localhost:8080/
 //
 // Endpoints: / (dashboard), /api/stats, /api/recent, /api/workload,
-// /healthz.
+// /metrics (Prometheus text), /events (recent decisions), /healthz, and —
+// with -pprof — the net/http/pprof profiling suite under /debug/pprof/.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +44,7 @@ func main() {
 		weights = flag.Bool("weights", true, "draw weights from [1, 10]")
 		scale   = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
 		loop    = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
+		pprofOn = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -90,11 +94,24 @@ func main() {
 	// new replay when -loop is set.
 	current := make(chan *server.Server, 1)
 	current <- srv
-	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s := <-current
 		current <- s
 		s.ServeHTTP(w, r)
 	})
+	if *pprofOn {
+		// Opt-in profiling: the handlers are registered on this private mux
+		// only (importing net/http/pprof also touches http.DefaultServeMux,
+		// but that mux is never served here).
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
 
 	// The replay loop is joined via loopDone before main returns. Each
 	// replay runs under ctx, so cancellation both stops the executor and

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/sched"
 	"repro/internal/txn"
@@ -144,7 +145,17 @@ type ASETSStar struct {
 
 	schedPoints    int
 	nextActivation float64
+
+	// sink, when non-nil, receives the policy-internal decision events the
+	// generic interface-level instrumentation cannot see: balance-aware
+	// aging activations and EDF→HDF entity migrations. Installed through
+	// SetSink (the sched.SinkSetter seam used by sched.Instrument).
+	sink obs.Sink
 }
+
+// SetSink installs the observation sink for policy-internal events. A nil
+// sink (the default) disables emission entirely.
+func (a *ASETSStar) SetSink(sink obs.Sink) { a.sink = sink }
 
 // Compile-time check that ASETSStar satisfies the scheduler contract.
 var _ sched.Scheduler = (*ASETSStar)(nil)
@@ -343,6 +354,13 @@ func (a *ASETSStar) migrate(now float64) {
 		a.dequeue(e)
 		e.inEDF = false
 		a.hdf.Push(e.item)
+		if a.sink != nil {
+			a.sink.Emit(obs.Event{
+				Time: now, Kind: obs.KindModeSwitch, Txn: -1, Workflow: e.wf.ID,
+				Deadline: e.rep.Deadline, Remaining: e.rep.Remaining,
+				Detail: "edf->hdf",
+			})
+		}
 	}
 }
 
@@ -383,6 +401,13 @@ func (a *ASETSStar) Next(now float64) *txn.Transaction {
 	a.schedPoints++
 
 	if t := a.activate(now); t != nil {
+		if a.sink != nil {
+			a.sink.Emit(obs.Event{
+				Time: now, Kind: obs.KindAging, Txn: t.ID, Workflow: -1,
+				Deadline: t.Deadline, Remaining: t.Remaining,
+				Detail: "t_old",
+			})
+		}
 		a.checkOut(now, t)
 		return t
 	}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/txn"
 )
@@ -51,6 +52,14 @@ type Options struct {
 	// makes Run instantaneous and bit-for-bit deterministic — the only
 	// wall-clock access in the executor goes through this seam.
 	Clock Clock
+	// Sink, when non-nil, receives the typed decision-event stream from
+	// the scheduler boundary. Events are stamped with the executor's event
+	// time (simulated units anchored at the Clock seam), never with a raw
+	// host-clock read, so a FakeClock replay emits a bit-identical stream.
+	Sink obs.Sink
+	// Metrics, when non-nil, accumulates the replay's counters, gauges and
+	// histograms; the asetsweb /metrics endpoint exports it live.
+	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of executor progress, safe to read
@@ -102,6 +111,9 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 		opts.Clock = RealClock{}
 	}
 	set.ResetAll()
+	// Decision-loop instrumentation: a no-op pass-through when neither a
+	// sink nor a registry is configured.
+	s = sched.Instrument(s, opts.Sink, opts.Metrics)
 	s.Init(set)
 	return &Executor{
 		set:   set,

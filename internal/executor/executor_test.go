@@ -152,6 +152,37 @@ func TestAvgTardinessEmpty(t *testing.T) {
 	}
 }
 
+// TestStatsAllOnTime: a workload whose deadlines cannot be missed must end
+// with every tardiness aggregate exactly zero — the edge /metrics and
+// /api/stats both render.
+func TestStatsAllOnTime(t *testing.T) {
+	txns := []*txn.Transaction{
+		{ID: 0, Arrival: 0, Deadline: 100, Length: 1, Weight: 1},
+		{ID: 1, Arrival: 1, Deadline: 100, Length: 0.5, Weight: 1},
+		{ID: 2, Arrival: 2, Deadline: 100, Length: 2, Weight: 1},
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(sched.NewEDF(), set, Options{
+		TimeScale: time.Millisecond,
+		Clock:     NewFakeClock(time.Unix(0, 0)),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := ex.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := ex.Stats()
+	if st.Completed != 3 || st.Submitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SumTardiness != 0 || st.MaxTardiness != 0 || st.Misses != 0 || st.AvgTardiness() != 0 {
+		t.Fatalf("on-time run reported tardiness: %+v", st)
+	}
+}
+
 func TestDefaultTimeScaleApplied(t *testing.T) {
 	set := smallWorkload(t, 0.5, false)
 	ex := New(sched.NewFCFS(), set, Options{})

@@ -124,11 +124,12 @@ func Suite() []*Analyzer {
 	nd := Nondeterminism()
 	nd.Include = []string{
 		"internal/sim", "internal/core", "internal/sched",
-		"internal/workload", "internal/experiments",
+		"internal/workload", "internal/experiments", "internal/obs",
 	}
 	mr := MapRange()
 	mr.Include = []string{
 		"internal/core", "internal/sched", "internal/sim", "internal/executor",
+		"internal/obs",
 	}
 	fc := FloatCmp()
 	fc.Include = []string{

@@ -70,6 +70,32 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() float64 { return h.max }
 
+// Sum returns the exact running sum of all observations, accumulated in
+// observation order — exporters that must agree bit-for-bit with an
+// independently kept running sum rely on this.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bucket is one histogram cell for exporters. The zero bucket (exactly-zero
+// observations) has Upper == 0; bucket i of the geometric layout has
+// Upper == base^(i+1) and covers observations in [base^i, base^(i+1)) —
+// except the first, which also absorbs sub-unit values.
+type Bucket struct {
+	Upper float64
+	Count int
+}
+
+// Buckets returns every cell in ascending upper-edge order, zero bucket
+// first, including empty cells up to the highest occupied one. The counts
+// are per-bucket, not cumulative.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.buckets)+1)
+	out = append(out, Bucket{Upper: 0, Count: h.zero})
+	for i, c := range h.buckets {
+		out = append(out, Bucket{Upper: math.Pow(h.base, float64(i+1)), Count: c})
+	}
+	return out
+}
+
 // ZeroFraction returns the share of exactly-zero observations (transactions
 // that met their deadline, for a tardiness histogram).
 func (h *Histogram) ZeroFraction() float64 {

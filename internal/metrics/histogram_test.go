@@ -26,6 +26,40 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramSumAndBuckets covers the exporter surface: Sum accumulates
+// observations in insertion order (so exporters can compare it bitwise
+// against an equally-ordered external sum) and Buckets returns the zero
+// bucket followed by the geometric edges.
+func TestHistogramSumAndBuckets(t *testing.T) {
+	h := NewHistogram(2)
+	vals := []float64{0, 0.5, 1.5, 3, 10}
+	var sum float64
+	for _, v := range vals {
+		h.Add(v)
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), sum)
+	}
+	b := h.Buckets()
+	if len(b) == 0 || b[0].Upper != 0 || b[0].Count != 1 {
+		t.Fatalf("zero bucket = %+v", b)
+	}
+	total := 0
+	for i, bk := range b {
+		if i > 0 && bk.Upper != math.Pow(2, float64(i)) {
+			t.Fatalf("bucket %d upper = %v", i, bk.Upper)
+		}
+		total += bk.Count
+	}
+	if total != len(vals) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+	if NewHistogram(2).Sum() != 0 {
+		t.Fatal("empty histogram Sum non-zero")
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram(2)
 	// 50 zeros, 50 values of 8 (bucket [8,16)).

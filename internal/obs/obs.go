@@ -1,0 +1,358 @@
+// Package obs is the unified instrumentation layer of the repository: a
+// stdlib-only observability stack threaded through the simulator, the
+// scheduling policies, the online executor and the web server.
+//
+// It has three parts:
+//
+//   - a metrics registry (registry.go): named counters, gauges and
+//     histogram handles with atomic hot-path updates and a deterministic
+//     snapshot API, exportable in Prometheus text format (prom.go);
+//   - a structured decision-event stream (this file): schedulers and the
+//     sim/executor emit typed Events through a Sink — a no-op Discard sink
+//     for zero-overhead disabled runs, a bounded in-memory Ring for live
+//     endpoints, a Collector for post-run analysis, and a JSONLWriter for
+//     `asetssim -events out.jsonl`;
+//   - export surfaces: Prometheus text (prom.go) and a Chrome trace-event
+//     timeline loadable in Perfetto (timeline.go).
+//
+// Determinism: events are stamped exclusively from simulated/virtual time
+// (the `now` of the scheduling decision), never from the host clock, so a
+// fixed-seed run produces a byte-identical event stream on every replay.
+// The package is inside the asetslint determinism scope, which enforces
+// this statically.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// Kind classifies one scheduling decision event.
+type Kind int
+
+const (
+	// KindArrival — a transaction was submitted to the scheduler.
+	KindArrival Kind = iota
+	// KindDispatch — the scheduler checked a transaction out to a server.
+	KindDispatch
+	// KindPreempt — a running transaction was set aside unfinished.
+	KindPreempt
+	// KindCompletion — a transaction finished.
+	KindCompletion
+	// KindDeadlineMiss — a transaction finished past its deadline
+	// (emitted in addition to KindCompletion).
+	KindDeadlineMiss
+	// KindAging — balance-aware ASETS* activated T_old out of priority
+	// order (Section III-D aging).
+	KindAging
+	// KindModeSwitch — an ASETS* scheduling entity migrated between the
+	// EDF-List and the HDF-List (its representative expired).
+	KindModeSwitch
+)
+
+// String returns the stable wire name of the kind, used in JSONL output,
+// the /events endpoint and timeline exports.
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindDispatch:
+		return "dispatch"
+	case KindPreempt:
+		return "preempt"
+	case KindCompletion:
+		return "completion"
+	case KindDeadlineMiss:
+		return "deadline_miss"
+	case KindAging:
+		return "aging"
+	case KindModeSwitch:
+		return "mode_switch"
+	default:
+		panic(fmt.Sprintf("obs: unknown event kind %d", int(k)))
+	}
+}
+
+// Event is one scheduling decision, stamped with simulated time. The zero
+// value of optional fields means "not applicable": Txn and Workflow use -1
+// for that instead, because 0 is a valid ID.
+type Event struct {
+	// Seq is a per-sink monotone sequence number, stamped by the sink
+	// (Ring, Collector, JSONLWriter) on receipt. Emitters leave it zero.
+	Seq uint64
+	// Time is the simulated/virtual time of the decision.
+	Time float64
+	// Kind classifies the decision.
+	Kind Kind
+	// Txn is the subject transaction, or -1 when the event concerns a
+	// workflow or the scheduler as a whole.
+	Txn txn.ID
+	// Workflow is the subject scheduling entity, or -1.
+	Workflow int
+	// Deadline, Remaining and Tardiness carry the kind-specific numeric
+	// payload (see docs/OBSERVABILITY.md for which kinds set which).
+	Deadline  float64
+	Remaining float64
+	Tardiness float64
+	// Detail is a short free-form qualifier, e.g. "edf->hdf".
+	Detail string
+}
+
+// MarshalJSON renders the event as a single flat JSON object with a fixed
+// field order, so serialized streams are byte-stable across runs.
+func (e Event) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 128)
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","txn":`...)
+	b = strconv.AppendInt(b, int64(e.Txn), 10)
+	if e.Workflow >= 0 {
+		b = append(b, `,"wf":`...)
+		b = strconv.AppendInt(b, int64(e.Workflow), 10)
+	}
+	if e.Deadline != 0 {
+		b = append(b, `,"deadline":`...)
+		b = strconv.AppendFloat(b, e.Deadline, 'g', -1, 64)
+	}
+	if e.Remaining != 0 {
+		b = append(b, `,"remaining":`...)
+		b = strconv.AppendFloat(b, e.Remaining, 'g', -1, 64)
+	}
+	if e.Tardiness != 0 {
+		b = append(b, `,"tardiness":`...)
+		b = strconv.AppendFloat(b, e.Tardiness, 'g', -1, 64)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, e.Detail)
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
+// KindFromString is the inverse of Kind.String.
+func KindFromString(s string) (Kind, error) {
+	for k := KindArrival; k <= KindModeSwitch; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so Go consumers of the JSONL
+// stream and the /events endpoint can decode events back. Absent optional
+// fields restore their "not applicable" defaults (-1 for Txn/Workflow).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Seq       uint64  `json:"seq"`
+		Time      float64 `json:"t"`
+		Kind      string  `json:"kind"`
+		Txn       *int64  `json:"txn"`
+		Workflow  *int    `json:"wf"`
+		Deadline  float64 `json:"deadline"`
+		Remaining float64 `json:"remaining"`
+		Tardiness float64 `json:"tardiness"`
+		Detail    string  `json:"detail"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	k, err := KindFromString(w.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{
+		Seq: w.Seq, Time: w.Time, Kind: k, Txn: -1, Workflow: -1,
+		Deadline: w.Deadline, Remaining: w.Remaining, Tardiness: w.Tardiness,
+		Detail: w.Detail,
+	}
+	if w.Txn != nil {
+		e.Txn = txn.ID(*w.Txn)
+	}
+	if w.Workflow != nil {
+		e.Workflow = *w.Workflow
+	}
+	return nil
+}
+
+// Sink receives decision events. Implementations stamp Event.Seq; emitters
+// must treat the event as sent once Emit returns. Emit must be safe for use
+// from the single simulation/executor goroutine; sinks that are also read
+// concurrently (Ring) do their own locking.
+type Sink interface {
+	Emit(Event)
+}
+
+// discard is the no-op sink.
+type discard struct{}
+
+func (discard) Emit(Event) {}
+
+// Discard drops every event: the zero-overhead default for uninstrumented
+// runs. Instrumentation sites may also skip emission entirely when their
+// sink is nil; Discard exists so call sites can hold a non-nil Sink
+// unconditionally.
+var Discard Sink = discard{}
+
+// Tee fans every event out to each sink in order. Nil sinks are skipped.
+func Tee(sinks ...Sink) Sink {
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil && s != Discard {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Discard
+	case 1:
+		return out[0]
+	}
+	return tee(out)
+}
+
+type tee []Sink
+
+func (t tee) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// Ring is a bounded in-memory event buffer: the newest Cap events are
+// retained and older ones overwritten. It is safe for one writer and many
+// concurrent readers — the backing store of the server's /events endpoint.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // slot the next event lands in once the ring is full
+	seq  uint64 // total events ever emitted; also the next Seq stamp
+	cap  int
+}
+
+// NewRing returns a ring retaining the newest capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic(fmt.Sprintf("obs: ring capacity %d must be positive", capacity))
+	}
+	return &Ring{cap: capacity}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return r.cap }
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	ev.Seq = r.seq
+	r.seq++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % r.cap
+	}
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever emitted (not just retained).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Snapshot returns up to limit retained events, newest first. limit <= 0
+// means everything retained.
+func (r *Ring) Snapshot(limit int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Event, 0, limit)
+	for i := 0; i < limit; i++ {
+		// Newest element sits just before next (mod n).
+		idx := (r.next - 1 - i + 2*n) % n
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Collector retains every event in emission order — the input of the
+// timeline exporter and of post-run analyses where the full stream matters.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	ev.Seq = uint64(len(c.events))
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns the collected stream in emission order. The returned slice
+// is the collector's own backing store; callers must not emit concurrently
+// with reading it.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+// JSONLWriter serializes each event as one JSON line — the sink behind
+// `asetssim -events out.jsonl`. Writes are buffered; call Flush before
+// closing the underlying writer. The first write error sticks and is
+// reported by Flush/Err; later events are dropped.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	seq uint64
+	err error
+}
+
+// NewJSONLWriter returns a writer emitting one JSON object per line to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (j *JSONLWriter) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	ev.Seq = j.seq
+	j.seq++
+	b, err := ev.MarshalJSON()
+	if err == nil {
+		_, err = j.w.Write(append(b, '\n'))
+	}
+	if err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (j *JSONLWriter) Flush() error {
+	if err := j.w.Flush(); j.err == nil && err != nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Err returns the first write or serialization error, if any.
+func (j *JSONLWriter) Err() error { return j.err }

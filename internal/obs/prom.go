@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output
+// is sorted by metric name, so identical metric states serialize
+// identically. Floats use the shortest round-trip formatting, so a scraper
+// parsing `asets_tardiness_sum` recovers the exact float the run computed.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, c := range snap.Counters {
+		writeHeader(&b, c.Name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		writeHeader(&b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		writeHeader(&b, h.Name, h.Help, "histogram")
+		cum := 0
+		for _, bucket := range h.Buckets {
+			cum += bucket.Count
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(bucket.Upper), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

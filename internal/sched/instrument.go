@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// SinkSetter is the optional seam for policies that emit events about their
+// internal decisions — ASETS* reports balance-aware aging activations and
+// EDF↔HDF entity migrations through it. Instrument propagates its sink to
+// any wrapped scheduler implementing this interface, so policy-internal
+// events land in the same stream as the decision-loop events.
+type SinkSetter interface {
+	SetSink(obs.Sink)
+}
+
+// Metric and event names of the decision-loop instrumentation; the full
+// taxonomy is documented in docs/OBSERVABILITY.md.
+const (
+	MetricArrivals    = "asets_sched_arrivals_total"
+	MetricDispatches  = "asets_sched_dispatches_total"
+	MetricPreemptions = "asets_sched_preemptions_total"
+	MetricCompletions = "asets_sched_completions_total"
+	MetricMisses      = "asets_sched_deadline_misses_total"
+	MetricAging       = "asets_sched_aging_activations_total"
+	MetricModeSwitch  = "asets_sched_mode_switches_total"
+	MetricTardiness   = "asets_tardiness"
+	MetricResponse    = "asets_response_time"
+	MetricSimNow      = "asets_sim_now"
+)
+
+// Instrumented wraps any Scheduler with the unified observability layer:
+// every decision-loop callback (arrival, dispatch, preemption, completion,
+// deadline miss) emits a typed obs.Event and bumps registry metrics. Because
+// the simulator and the executor drive every policy exclusively through the
+// Scheduler interface, instrumenting here covers all policies without
+// per-policy edits.
+type Instrumented struct {
+	inner Scheduler
+	sink  obs.Sink
+
+	arrivals    *obs.Counter
+	dispatches  *obs.Counter
+	preemptions *obs.Counter
+	completions *obs.Counter
+	misses      *obs.Counter
+	tardiness   *obs.Histogram
+	response    *obs.Histogram
+	simNow      *obs.Gauge
+}
+
+// Instrument wraps s with event emission into sink and metric updates into
+// reg. Either may be nil; with both disabled (nil or obs.Discard sink, nil
+// registry) s is returned unchanged, so uninstrumented runs pay zero
+// overhead — nothing would observe the events or the counts. Events are
+// stamped with the simulated `now` of each callback — never the host clock.
+func Instrument(s Scheduler, sink obs.Sink, reg *obs.Registry) Scheduler {
+	if (sink == nil || sink == obs.Discard) && reg == nil {
+		return s
+	}
+	if sink == nil {
+		sink = obs.Discard
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	in := &Instrumented{
+		inner:       s,
+		arrivals:    reg.Counter(MetricArrivals, "transactions submitted to the scheduler"),
+		dispatches:  reg.Counter(MetricDispatches, "transactions checked out to a server"),
+		preemptions: reg.Counter(MetricPreemptions, "transactions returned unfinished after running"),
+		completions: reg.Counter(MetricCompletions, "transactions finished"),
+		misses:      reg.Counter(MetricMisses, "completions past the deadline"),
+		tardiness:   reg.Histogram(MetricTardiness, "tardiness of completed transactions", 2),
+		response:    reg.Histogram(MetricResponse, "response time (finish - arrival) of completed transactions", 2),
+		simNow:      reg.Gauge(MetricSimNow, "simulated time of the latest scheduler callback"),
+	}
+	// Policy-internal events (aging, mode switches) flow through a counting
+	// shim so they update the registry on their way into the stream.
+	in.sink = innerSink{
+		out:          sink,
+		aging:        reg.Counter(MetricAging, "balance-aware T_old activations"),
+		modeSwitches: reg.Counter(MetricModeSwitch, "EDF/HDF scheduling-entity migrations"),
+	}
+	if ss, ok := s.(SinkSetter); ok {
+		ss.SetSink(in.sink)
+	}
+	return in
+}
+
+// Unwrap returns the wrapped scheduler, for callers that need the concrete
+// policy (invariant auditing, queue-length probes).
+func (in *Instrumented) Unwrap() Scheduler { return in.inner }
+
+// Name implements Scheduler.
+func (in *Instrumented) Name() string { return in.inner.Name() }
+
+// Init implements Scheduler.
+func (in *Instrumented) Init(set *txn.Set) { in.inner.Init(set) }
+
+// OnArrival implements Scheduler.
+func (in *Instrumented) OnArrival(now float64, t *txn.Transaction) {
+	in.arrivals.Inc()
+	in.simNow.Set(now)
+	in.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindArrival, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining,
+	})
+	in.inner.OnArrival(now, t)
+}
+
+// Next implements Scheduler.
+func (in *Instrumented) Next(now float64) *txn.Transaction {
+	t := in.inner.Next(now)
+	if t != nil {
+		in.dispatches.Inc()
+		in.simNow.Set(now)
+		in.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindDispatch, Txn: t.ID, Workflow: -1,
+			Deadline: t.Deadline, Remaining: t.Remaining,
+		})
+	}
+	return t
+}
+
+// OnPreempt implements Scheduler.
+func (in *Instrumented) OnPreempt(now float64, t *txn.Transaction) {
+	in.preemptions.Inc()
+	in.simNow.Set(now)
+	in.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindPreempt, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining,
+	})
+	in.inner.OnPreempt(now, t)
+}
+
+// OnCompletion implements Scheduler. The transaction is already marked
+// finished by the simulator/executor, so tardiness is final here.
+func (in *Instrumented) OnCompletion(now float64, t *txn.Transaction) {
+	tard := t.Tardiness()
+	in.completions.Inc()
+	in.simNow.Set(now)
+	in.tardiness.Observe(tard)
+	in.response.Observe(t.FinishTime - t.Arrival)
+	in.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindCompletion, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Tardiness: tard,
+	})
+	if tard > 0 {
+		in.misses.Inc()
+		in.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindDeadlineMiss, Txn: t.ID, Workflow: -1,
+			Deadline: t.Deadline, Tardiness: tard,
+		})
+	}
+	in.inner.OnCompletion(now, t)
+}
+
+// innerSink forwards policy-internal events to the real sink while counting
+// them in the registry.
+type innerSink struct {
+	out          obs.Sink
+	aging        *obs.Counter
+	modeSwitches *obs.Counter
+}
+
+// Emit implements obs.Sink.
+func (s innerSink) Emit(ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindAging:
+		s.aging.Inc()
+	case obs.KindModeSwitch:
+		s.modeSwitches.Inc()
+	case obs.KindArrival, obs.KindDispatch, obs.KindPreempt,
+		obs.KindCompletion, obs.KindDeadlineMiss:
+		// Decision-loop kinds are counted by the wrapper itself.
+	default:
+		panic("sched: innerSink received unknown event kind")
+	}
+	s.out.Emit(ev)
+}
+
+var _ Scheduler = (*Instrumented)(nil)

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+func instrumentSet(t *testing.T) *txn.Set {
+	t.Helper()
+	txns := []*txn.Transaction{
+		{ID: 0, Arrival: 0, Deadline: 2, Length: 1, Weight: 1},
+		{ID: 1, Arrival: 0.5, Deadline: 1.2, Length: 0.4, Weight: 1},
+		{ID: 2, Arrival: 1, Deadline: 1.5, Length: 2, Weight: 1}, // will miss
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.ResetAll()
+	return set
+}
+
+func TestInstrumentNoopWhenUnconfigured(t *testing.T) {
+	s := NewEDF()
+	if got := Instrument(s, nil, nil); got != s {
+		t.Fatalf("Instrument(nil, nil) wrapped the scheduler: %T", got)
+	}
+	// A Discard sink with no registry observes nothing: also zero overhead.
+	if got := Instrument(s, obs.Discard, nil); got != s {
+		t.Fatalf("Instrument(Discard, nil) wrapped the scheduler: %T", got)
+	}
+}
+
+func TestInstrumentUnwrap(t *testing.T) {
+	s := NewEDF()
+	w := Instrument(s, obs.Discard, obs.NewRegistry())
+	in, ok := w.(*Instrumented)
+	if !ok {
+		t.Fatalf("Instrument returned %T", w)
+	}
+	if in.Unwrap() != s {
+		t.Fatal("Unwrap lost the inner scheduler")
+	}
+	if in.Name() != s.Name() {
+		t.Fatalf("name changed: %q vs %q", in.Name(), s.Name())
+	}
+}
+
+// TestInstrumentEmitsDecisionEvents drives the wrapper through the
+// simulator's check-out protocol by hand and checks the event stream and
+// the registry agree with what happened.
+func TestInstrumentEmitsDecisionEvents(t *testing.T) {
+	set := instrumentSet(t)
+	col := &obs.Collector{}
+	reg := obs.NewRegistry()
+	s := Instrument(NewEDF(), col, reg)
+	s.Init(set)
+
+	// t0 arrives and runs until t1 arrives at 0.5 (preemption point).
+	s.OnArrival(0, set.ByID(0))
+	got := s.Next(0)
+	if got == nil || got.ID != 0 {
+		t.Fatalf("Next = %v", got)
+	}
+	got.Remaining -= 0.5
+	s.OnArrival(0.5, set.ByID(1))
+	s.OnPreempt(0.5, got)
+
+	// t1 has the earlier deadline: runs 0.5→0.9 and completes on time.
+	got = s.Next(0.5)
+	if got == nil || got.ID != 1 {
+		t.Fatalf("Next = %v", got)
+	}
+	got.Remaining = 0
+	got.Finished = true
+	got.FinishTime = 0.9
+	s.OnCompletion(0.9, got)
+
+	// t0 resumes and completes on time; then t2 arrives late and misses.
+	got = s.Next(0.9)
+	got.Remaining = 0
+	got.Finished = true
+	got.FinishTime = 1.4
+	s.OnCompletion(1.4, got)
+
+	s.OnArrival(1.4, set.ByID(2))
+	got = s.Next(1.4)
+	if got == nil || got.ID != 2 {
+		t.Fatalf("Next = %v", got)
+	}
+	got.Remaining = 0
+	got.Finished = true
+	got.FinishTime = 3.4
+	s.OnCompletion(3.4, got)
+
+	kinds := map[obs.Kind]int{}
+	for _, ev := range col.Events() {
+		kinds[ev.Kind]++
+	}
+	want := map[obs.Kind]int{
+		obs.KindArrival:      3,
+		obs.KindDispatch:     4,
+		obs.KindPreempt:      1,
+		obs.KindCompletion:   3,
+		obs.KindDeadlineMiss: 1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("%v events = %d, want %d", k, kinds[k], n)
+		}
+	}
+
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters[MetricArrivals] != 3 || counters[MetricDispatches] != 4 ||
+		counters[MetricPreemptions] != 1 || counters[MetricCompletions] != 3 ||
+		counters[MetricMisses] != 1 {
+		t.Fatalf("counters = %v", counters)
+	}
+	var tard obs.HistogramValue
+	for _, h := range snap.Histograms {
+		if h.Name == MetricTardiness {
+			tard = h
+		}
+	}
+	if tard.Count != 3 || tard.Sum != 1.9 { // only t2 is tardy: 3.4 - 1.5
+		t.Fatalf("tardiness histogram = %+v", tard)
+	}
+
+	// Events are stamped with the decision's simulated time.
+	for _, ev := range col.Events() {
+		if ev.Kind == obs.KindDeadlineMiss && (ev.Time != 3.4 || ev.Tardiness != 1.9) {
+			t.Fatalf("deadline-miss event = %+v", ev)
+		}
+	}
+}
+
+// sinkRecorder records SetSink installations.
+type sinkRecorder struct {
+	Scheduler
+	sink obs.Sink
+}
+
+func (s *sinkRecorder) SetSink(sink obs.Sink) { s.sink = sink }
+
+func TestInstrumentPropagatesSink(t *testing.T) {
+	rec := &sinkRecorder{Scheduler: NewEDF()}
+	col := &obs.Collector{}
+	reg := obs.NewRegistry()
+	Instrument(rec, col, reg)
+	if rec.sink == nil {
+		t.Fatal("sink not propagated to SinkSetter scheduler")
+	}
+	// Policy-internal events pass through the counting shim into the same
+	// stream and bump their registry counters.
+	rec.sink.Emit(obs.Event{Time: 1, Kind: obs.KindModeSwitch, Txn: -1, Workflow: 0})
+	rec.sink.Emit(obs.Event{Time: 2, Kind: obs.KindAging, Txn: 0, Workflow: -1})
+	if n := len(col.Events()); n != 2 {
+		t.Fatalf("%d events reached the outer sink", n)
+	}
+	counters := map[string]uint64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters[MetricModeSwitch] != 1 || counters[MetricAging] != 1 {
+		t.Fatalf("internal-event counters = %v", counters)
+	}
+}

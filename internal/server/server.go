@@ -11,6 +11,8 @@
 //	GET /api/stats     executor statistics snapshot (JSON)
 //	GET /api/recent    most recent completions, newest first (JSON)
 //	GET /api/workload  the full workload being replayed (JSON)
+//	GET /metrics       live metrics, Prometheus text exposition format
+//	GET /events        recent scheduler decision events, newest first (JSON)
 //	GET /healthz       liveness probe
 package server
 
@@ -24,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/executor"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/txn"
 	"repro/internal/workload"
@@ -31,6 +34,9 @@ import (
 
 // completionRing keeps the last N completions for /api/recent.
 const completionRing = 256
+
+// eventRing keeps the last N scheduler decision events for /events.
+const eventRing = 1024
 
 // Completion is one finished transaction as reported by /api/recent.
 type Completion struct {
@@ -49,6 +55,8 @@ type Server struct {
 	policy string
 	exec   *executor.Executor
 	mux    *http.ServeMux
+	reg    *obs.Registry
+	ring   *obs.Ring
 
 	mu     sync.Mutex
 	recent []Completion // ring buffer, next points at the oldest slot
@@ -77,15 +85,34 @@ func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts execut
 			userComplete(t, finish)
 		}
 	}
+
+	// Observability: the server always instruments its executor — the
+	// registry backs /metrics, the event ring backs /events. A caller's own
+	// registry and sink keep working alongside.
+	s.reg = opts.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+		opts.Metrics = s.reg
+	}
+	s.ring = obs.NewRing(eventRing)
+	opts.Sink = obs.Tee(opts.Sink, s.ring)
+	s.reg.Gauge("asets_workload_transactions", "transactions in the replayed workload").Set(float64(set.Len()))
+
 	s.exec = executor.New(policy, set, opts)
 
 	s.mux.HandleFunc("GET /", s.handleDashboard)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/recent", s.handleRecent)
 	s.mux.HandleFunc("GET /api/workload", s.handleWorkload)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
+
+// Registry exposes the server's metrics registry, so embedding programs can
+// add their own instruments to the same /metrics page.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -195,17 +222,53 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.statsNow())
 }
 
+// parseLimit validates a ?limit= query parameter: malformed or
+// non-positive values yield an error (the caller answers 400), absent
+// values yield def, and oversized values clamp to max.
+func parseLimit(r *http.Request, def, max int) (int, error) {
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("limit %q must be a positive integer", q)
+	}
+	if v > max {
+		v = max
+	}
+	return v, nil
+}
+
 func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
-	limit := 50
-	if q := r.URL.Query().Get("limit"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 {
-			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
-			return
-		}
-		limit = v
+	limit, err := parseLimit(r, 50, completionRing)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	writeJSON(w, s.recentSnapshot(limit))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.reg); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// eventsPayload is the /events response document.
+type eventsPayload struct {
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"` // newest first
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r, 100, eventRing)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, eventsPayload{Total: s.ring.Total(), Events: s.ring.Snapshot(limit)})
 }
 
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -31,6 +32,14 @@ type Options struct {
 	// against a buggy scheduler that spins without progress. Zero selects a
 	// generous default proportional to the workload size.
 	MaxSteps int
+	// Sink, when non-nil, receives the typed decision-event stream
+	// (arrivals, dispatches, preemptions, completions, deadline misses,
+	// plus policy-internal aging and mode-switch events) stamped with
+	// simulated time. Nil disables event emission entirely.
+	Sink obs.Sink
+	// Metrics, when non-nil, accumulates the run's counters and histograms
+	// (see docs/OBSERVABILITY.md for the metric taxonomy).
+	Metrics *obs.Registry
 }
 
 // completionEpsilon absorbs float64 error when a slice boundary lands
@@ -55,6 +64,10 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		return nil, fmt.Errorf("sim: servers %d must be positive", opts.Servers)
 	}
 	set.ResetAll()
+	// The instrumentation wrapper covers every policy at the decision-loop
+	// boundary; with neither a sink nor a registry it is a no-op returning
+	// s itself, so uninstrumented runs pay nothing.
+	s = sched.Instrument(s, opts.Sink, opts.Metrics)
 	s.Init(set)
 
 	// Arrival order: by time, ties by ID for determinism.

@@ -40,10 +40,13 @@ type Recorder struct {
 }
 
 // Record appends a slice, merging it with the previous one when contiguous.
+// Contiguity is judged within the package tolerance: event times accumulate
+// float64 error, so an exact == test would let drifted-but-adjacent slices
+// fragment the trace.
 func (r *Recorder) Record(id txn.ID, start, end float64) {
 	if n := len(r.Slices); n > 0 {
 		last := &r.Slices[n-1]
-		if last.ID == id && last.End == start {
+		if last.ID == id && math.Abs(start-last.End) <= tolerance {
 			last.End = end
 			return
 		}

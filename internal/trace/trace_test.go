@@ -47,6 +47,47 @@ func TestRecorderMergesContiguousSlices(t *testing.T) {
 	}
 }
 
+// TestRecorderMergesWithinTolerance: simulated event times accumulate
+// float64 error, so resume points drift a few ULPs off the previous slice's
+// end. Such slices must still merge; gaps beyond the package tolerance must
+// not.
+func TestRecorderMergesWithinTolerance(t *testing.T) {
+	// 0.1+0.2 != 0.3 exactly — the classic drift an == test fragments on.
+	r := &Recorder{}
+	r.Record(0, 0, 0.1+0.2)
+	r.Record(0, 0.3, 0.5)
+	if len(r.Slices) != 1 {
+		t.Fatalf("drifted-adjacent slices did not merge: %v", r.Slices)
+	}
+	if r.Slices[0].Start != 0 || r.Slices[0].End != 0.5 {
+		t.Fatalf("merged slice = %v", r.Slices[0])
+	}
+
+	// Accumulated sums drift too: after many small increments the resume
+	// point differs from the analytic end by more than one ULP.
+	r = &Recorder{}
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		sum += 0.001
+	}
+	if sum == 1.0 {
+		t.Fatal("test premise broken: 1000*0.001 summed exactly")
+	}
+	r.Record(0, 0, sum)
+	r.Record(0, 1.0, 1.5)
+	if len(r.Slices) != 1 {
+		t.Fatalf("accumulated-drift slices did not merge: %v", r.Slices)
+	}
+
+	// A real preemption gap (here 0.01 ≫ tolerance) must stay two slices.
+	r = &Recorder{}
+	r.Record(0, 0, 1)
+	r.Record(0, 1.01, 2)
+	if len(r.Slices) != 2 {
+		t.Fatalf("gapped slices merged: %v", r.Slices)
+	}
+}
+
 func TestRecorderReset(t *testing.T) {
 	r := &Recorder{}
 	r.Record(0, 0, 1)

@@ -23,6 +23,10 @@ go build ./...
 if [ "${1:-}" = "short" ]; then
     echo "== go test (short)"
     go test -short ./...
+    # Even the quick loop races the HTTP endpoints (/metrics, /events,
+    # /api/*) against a live replay: the hammer is small and fast.
+    echo "== go test -race (endpoint hammer)"
+    go test -race -run Hammer ./internal/server
 else
     echo "== go test"
     go test ./...
@@ -32,5 +36,9 @@ fi
 
 echo "== asetslint"
 go run ./cmd/asetslint ./...
+
+echo "== obs overhead benchmark"
+go run ./cmd/asetsbench -obs-bench BENCH_obs.json -n 400
+cat BENCH_obs.json
 
 echo "all checks passed"
