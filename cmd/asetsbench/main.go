@@ -12,6 +12,7 @@
 //	asetsbench -n 500 -seeds 3         # scale down for a quick look
 //	asetsbench -list                   # list experiment IDs
 //	asetsbench -obs-bench BENCH_obs.json -n 400   # instrumentation overhead
+//	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
 package main
 
 import (
@@ -29,17 +30,18 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "experiment id to run, or 'all'")
-		n        = flag.Int("n", 1000, "transactions per workload (paper: 1000)")
-		seeds    = flag.Int("seeds", 5, "seeded runs per data point (paper: 5)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		validate = flag.Bool("validate", false, "validate every schedule against the trace checker")
-		chart    = flag.Bool("chart", false, "render an ASCII chart under each table")
-		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
-		svgDir   = flag.String("svg", "", "directory to write per-figure SVG charts into")
-		jsonDir  = flag.String("json", "", "directory to write per-figure JSON results into")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		obsBench = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
+		figure     = flag.String("figure", "all", "experiment id to run, or 'all'")
+		n          = flag.Int("n", 1000, "transactions per workload (paper: 1000)")
+		seeds      = flag.Int("seeds", 5, "seeded runs per data point (paper: 5)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		validate   = flag.Bool("validate", false, "validate every schedule against the trace checker")
+		chart      = flag.Bool("chart", false, "render an ASCII chart under each table")
+		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
+		svgDir     = flag.String("svg", "", "directory to write per-figure SVG charts into")
+		jsonDir    = flag.String("json", "", "directory to write per-figure JSON results into")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		obsBench   = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
+		faultBench = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
 	)
 	flag.Parse()
 
@@ -60,6 +62,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: obs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *faultBench != "" {
+		f, err := os.Create(*faultBench)
+		if err == nil {
+			err = runFaultBench(f, *n, min(*seeds, 3))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: fault-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -11,6 +11,12 @@
 //	asetssim -compare -util 0.9           # run every policy on one workload
 //	asetssim -events out.jsonl            # decision-event stream, one JSON per line
 //	asetssim -timeline out.json           # Chrome trace-event timeline (Perfetto)
+//	asetssim -faults plan.json -admit slack:2   # fault injection + shedding
+//
+// -faults names a fault.Plan JSON file and -admit selects an admission
+// controller (none, queue:N, slack[:tol], missratio[:enter,exit]); see
+// docs/ROBUSTNESS.md. Both are validated before the run starts and compose
+// with -compare (the plan is shared; each policy gets a fresh controller).
 package main
 
 import (
@@ -20,8 +26,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -83,10 +91,32 @@ func main() {
 		servers  = flag.Int("servers", 1, "number of identical backend servers")
 		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
+		faults   = flag.String("faults", "", "fault plan JSON file (docs/ROBUSTNESS.md)")
+		admitS   = flag.String("admit", "none", "admission controller: none, queue:N, slack[:tol], missratio[:enter,exit]")
 	)
 	flag.Parse()
 
+	// Validate the robustness flags before any work, so a typo is a crisp
+	// CLI error rather than a mid-run failure.
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.Load(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if _, err := admit.Parse(*admitS); err != nil {
+		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
+		os.Exit(2)
+	}
+	rob := robustness{plan: plan, admitSpec: *admitS}
+
 	if *users > 0 {
+		if rob.active() {
+			fmt.Fprintln(os.Stderr, "asetssim: -faults/-admit apply to open-loop runs; the closed-loop simulator (-users) does not support them")
+			os.Exit(2)
+		}
 		runClosedLoop(*users, *util, *seed, *policy, *patience)
 		return
 	}
@@ -130,7 +160,7 @@ func main() {
 			if *invar {
 				s = wrapInvariants(s)
 			}
-			runOne(set, s, *servers, wantTrace, *analyze, *gantt, obsOutputs{})
+			runOne(set, s, *servers, wantTrace, *analyze, *gantt, obsOutputs{}, rob)
 		}
 		return
 	}
@@ -154,7 +184,29 @@ func main() {
 		}
 		s = wrapInvariants(s)
 	}
-	runOne(set, s, *servers, wantTrace, *analyze, *gantt, outs)
+	runOne(set, s, *servers, wantTrace, *analyze, *gantt, outs, rob)
+}
+
+// robustness bundles the fault-injection/admission configuration of a run.
+// The plan is immutable and shared across -compare runs (each sim builds its
+// own injector); controllers carry feedback state, so each run parses a
+// fresh one from the spec.
+type robustness struct {
+	plan      *fault.Plan
+	admitSpec string
+}
+
+func (r robustness) active() bool { return r.plan != nil || r.admitSpec != "none" }
+
+func (r robustness) controller() admit.Controller {
+	ctrl, err := admit.Parse(r.admitSpec)
+	if err != nil { // validated at startup
+		panic(err)
+	}
+	if _, isNone := ctrl.(admit.Unconditional); isNone {
+		return nil
+	}
+	return ctrl
 }
 
 // wrapInvariants adds per-decision invariant auditing when s is an
@@ -203,9 +255,9 @@ type obsOutputs struct {
 	timelinePath string // Chrome trace-event timeline (implies tracing)
 }
 
-func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs) {
+func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs, rob robustness) {
 	var rec *trace.Recorder
-	opts := sim.Options{Servers: servers}
+	opts := sim.Options{Servers: servers, Faults: rob.plan, Admit: rob.controller()}
 	if doTrace || outs.timelinePath != "" {
 		rec = &trace.Recorder{}
 		opts.Recorder = rec
@@ -270,16 +322,28 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		fmt.Printf("  timeline: wrote %s (load in Perfetto / chrome://tracing)\n", outs.timelinePath)
 	}
 	printSummary(s.Name(), summary)
+	if rob.active() {
+		fmt.Printf("  faults: admitted=%d shed=%d aborts=%d restarts=%d stalls=%d\n",
+			summary.N, summary.Shed, summary.Aborts, summary.Restarts, summary.Stalls)
+	}
 	if c, ok := s.(*core.Checked); ok {
 		fmt.Printf("  invariants: %d decision points audited, 0 violations\n", c.Checks())
 	}
 	if rec != nil {
-		if err := rec.ValidateN(set, servers); err != nil {
-			fmt.Fprintf(os.Stderr, "asetssim: %s: INVALID SCHEDULE: %v\n", s.Name(), err)
-			os.Exit(1)
+		if rob.active() {
+			// Aborted work re-executes and shed transactions never run, so
+			// the slice-sum validation's invariants do not hold under a
+			// fault plan or an admission controller.
+			fmt.Printf("  schedule: %d slices, %d preemptions (validation skipped under -faults/-admit: re-executed and shed work break slice-sum invariants)\n",
+				len(rec.Slices), rec.Preemptions(set))
+		} else {
+			if err := rec.ValidateN(set, servers); err != nil {
+				fmt.Fprintf(os.Stderr, "asetssim: %s: INVALID SCHEDULE: %v\n", s.Name(), err)
+				os.Exit(1)
+			}
+			fmt.Printf("  schedule: %d slices, %d preemptions, validated OK\n",
+				len(rec.Slices), rec.Preemptions(set))
 		}
-		fmt.Printf("  schedule: %d slices, %d preemptions, validated OK\n",
-			len(rec.Slices), rec.Preemptions(set))
 	}
 	if analyze {
 		printAnalysis(set, rec)

@@ -85,7 +85,8 @@ func TestRunOneObsOutputs(t *testing.T) {
 		cfg.N = 120
 		set := workload.MustGenerate(cfg)
 		runOne(set, core.New(), 1, false, false, false,
-			obsOutputs{eventsPath: eventsPath, timelinePath: timelinePath})
+			obsOutputs{eventsPath: eventsPath, timelinePath: timelinePath},
+			robustness{admitSpec: "none"})
 		return eventsPath, timelinePath
 	}
 	ev1, tl := run("a")

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	asetsweb -addr :8080 -policy asets -util 0.9 -scale 5ms
+//	asetsweb -faults plan.json -admit slack:2   # fault injection + shedding
 //	asetsweb -pprof            # additionally serve /debug/pprof/
 //	# then open http://localhost:8080/
 //
 // Endpoints: / (dashboard), /api/stats, /api/recent, /api/workload,
-// /metrics (Prometheus text), /events (recent decisions), /healthz, and —
-// with -pprof — the net/http/pprof profiling suite under /debug/pprof/.
+// POST /api/submit (admission gate: 202 or 429 + Retry-After),
+// /metrics (Prometheus text), /events (recent decisions), /healthz
+// (503 "degraded" while the admission controller degrades), and — with
+// -pprof — the net/http/pprof profiling suite under /debug/pprof/.
+//
+// -faults names a fault.Plan JSON file (see docs/ROBUSTNESS.md for the
+// format); -admit selects an admission controller (none, queue:N,
+// slack[:tol], missratio[:enter,exit]). Both are validated before the
+// server binds its port.
 package main
 
 import (
@@ -26,8 +34,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/executor"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -35,16 +45,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		policy  = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
-		util    = flag.Float64("util", 0.9, "target utilization")
-		n       = flag.Int("n", 1000, "number of transactions")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		wfLen   = flag.Int("wf-len", 5, "max workflow length (1 = independent)")
-		weights = flag.Bool("weights", true, "draw weights from [1, 10]")
-		scale   = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
-		loop    = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
-		pprofOn = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		policy    = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
+		util      = flag.Float64("util", 0.9, "target utilization")
+		n         = flag.Int("n", 1000, "number of transactions")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		wfLen     = flag.Int("wf-len", 5, "max workflow length (1 = independent)")
+		weights   = flag.Bool("weights", true, "draw weights from [1, 10]")
+		scale     = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
+		loop      = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
+		pprofOn   = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
+		faultPath = flag.String("faults", "", "fault plan JSON file (docs/ROBUSTNESS.md)")
+		admitSpec = flag.String("admit", "none", "admission controller: none, queue:N, slack[:tol], missratio[:enter,exit]")
 	)
 	flag.Parse()
 
@@ -63,6 +75,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate fault/admission flags before binding the port, so a typo is a
+	// crisp CLI error rather than a replay-goroutine failure.
+	var plan *fault.Plan
+	if *faultPath != "" {
+		var err error
+		if plan, err = fault.Load(*faultPath); err != nil {
+			fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if _, err := admit.Parse(*admitSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+		os.Exit(2)
+	}
+
 	build := func(seed uint64) (*server.Server, error) {
 		cfg := workload.Default(*util, seed)
 		cfg.N = *n
@@ -76,7 +103,21 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return server.New(factory(), set, &cfg, executor.Options{TimeScale: *scale}), nil
+		// Controllers carry feedback state, so each replay gets a fresh one;
+		// the fault plan is immutable and shared (each executor builds its
+		// own injector from it).
+		ctrl, err := admit.Parse(*admitSpec)
+		if err != nil {
+			return nil, err
+		}
+		if _, isNone := ctrl.(admit.Unconditional); isNone {
+			ctrl = nil
+		}
+		return server.New(factory(), set, &cfg, executor.Options{
+			TimeScale: *scale,
+			Faults:    plan,
+			Admit:     ctrl,
+		}), nil
 	}
 
 	srv, err := build(*seed)
@@ -122,7 +163,10 @@ func main() {
 		s := srv
 		nextSeed := *seed
 		for {
-			s.Start(ctx)
+			if _, err := s.Start(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+				return
+			}
 			if err := s.Wait(ctx); err != nil {
 				if ctx.Err() == nil {
 					fmt.Fprintf(os.Stderr, "asetsweb: replay: %v\n", err)
@@ -147,7 +191,19 @@ func main() {
 	fmt.Printf("asetsweb: %s scheduling %d transactions at U=%.2f — http://localhost%s/\n",
 		*policy, *n, *util, *addr)
 
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	// Hardened server config: slowloris-resistant header/body deadlines and
+	// an idle cap for keep-alive connections. The longest handler is the
+	// dashboard render, far under a second, so 10s of request budget is
+	// generous; the POST body limit is enforced per-handler with
+	// http.MaxBytesReader.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() {
 		serveErr <- hs.ListenAndServe()

@@ -24,19 +24,31 @@
 // replays the identical schedule instantly and deterministically. No other
 // wall-clock read exists in the executor, keeping the determinism policy of
 // docs/DETERMINISM.md intact end to end.
+//
+// Faults and overload protection (docs/ROBUSTNESS.md) thread through the
+// same event-time model: Options.Faults injects aborts, backend outage
+// windows and flash crowds at simulated instants (so a FakeClock replay of a
+// fault run is still bit-deterministic), and Options.Admit sheds arrivals
+// before they reach the scheduler.
 package executor
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/admit"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/txn"
 )
+
+// inf marks "no such future event" in boundary computations.
+var inf = math.Inf(1)
 
 // Options configures an Executor.
 type Options struct {
@@ -60,6 +72,17 @@ type Options struct {
 	// Metrics, when non-nil, accumulates the replay's counters, gauges and
 	// histograms; the asetsweb /metrics endpoint exports it live.
 	Metrics *obs.Registry
+	// Faults, when non-nil, is the fault plan the replay executes: keyed
+	// abort/restart decisions, backend stall/crash windows at simulated
+	// instants, and flash-crowd arrival compression (applied to the set in
+	// New, before the scheduler sees it). Invalid plans surface as an error
+	// from Run.
+	Faults *fault.Plan
+	// Admit, when non-nil, is consulted on every arrival; rejected
+	// transactions are marked Shed and never reach the scheduler. All
+	// controller calls are serialized under the executor's lock, so Probe
+	// may interrogate the same controller from other goroutines.
+	Admit admit.Controller
 }
 
 // Stats is a point-in-time snapshot of executor progress, safe to read
@@ -67,7 +90,8 @@ type Options struct {
 type Stats struct {
 	// Now is the current simulated time.
 	Now float64
-	// Submitted and Completed count transactions.
+	// Submitted and Completed count transactions the scheduler accepted and
+	// finished; shed transactions are never submitted.
 	Submitted int
 	Completed int
 	// Running is the ID of the executing transaction, or -1.
@@ -77,6 +101,21 @@ type Stats struct {
 	MaxTardiness float64
 	// Misses counts finished transactions that overran their deadline.
 	Misses int
+	// Shed counts arrivals the admission controller rejected.
+	Shed int
+	// Aborts, Restarts and Stalls count injected faults.
+	Aborts   int
+	Restarts int
+	Stalls   int
+	// Held counts aborted transactions currently waiting out a backoff.
+	Held int
+	// Backlog is the remaining work (simulated units) over admitted
+	// unfinished transactions — the quantity feasibility admission reasons
+	// about, and the basis of the server's Retry-After hint.
+	Backlog float64
+	// Degraded reports whether the admission controller is in degradation
+	// mode.
+	Degraded bool
 }
 
 // AvgTardiness returns the running average tardiness of completed
@@ -95,14 +134,21 @@ type Executor struct {
 	sched sched.Scheduler
 	opts  Options
 
+	inj     *fault.Injector
+	rec     *fault.Recorder
+	initErr error
+
 	mu    sync.Mutex
+	ctrl  admit.Controller // guarded by mu: the run loop and Probe both call it
 	stats Stats
 	done  bool
 }
 
 // New prepares an executor. The scheduler must be freshly constructed (its
 // Init is called here) and must not be shared with another executor or
-// simulation.
+// simulation. A fault plan's flash-crowd bursts mutate the set's arrival
+// times here, before the scheduler sees the workload; an invalid plan is
+// reported by Run.
 func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 	if opts.TimeScale <= 0 {
 		opts.TimeScale = 200 * time.Microsecond
@@ -110,17 +156,38 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 	if opts.Clock == nil {
 		opts.Clock = RealClock{}
 	}
+	e := &Executor{
+		set:  set,
+		opts: opts,
+		ctrl: opts.Admit,
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			e.initErr = err
+		} else {
+			e.inj = fault.NewInjector(opts.Faults, set.Len())
+			opts.Faults.ApplyBursts(set)
+		}
+	}
+	if opts.Admit != nil && e.initErr == nil {
+		// Shedding cascades to dependents (a shed dependency can never
+		// complete, so its dependents would deadlock the scheduler), which
+		// requires dependencies to be delivered before their dependents.
+		if err := admit.CheckArrivalOrder(set); err != nil {
+			e.initErr = err
+		}
+	}
+	if e.inj != nil || e.ctrl != nil {
+		e.rec = fault.NewRecorder(opts.Sink, opts.Metrics)
+	}
 	set.ResetAll()
 	// Decision-loop instrumentation: a no-op pass-through when neither a
 	// sink nor a registry is configured.
 	s = sched.Instrument(s, opts.Sink, opts.Metrics)
 	s.Init(set)
-	return &Executor{
-		set:   set,
-		sched: s,
-		opts:  opts,
-		stats: Stats{Running: -1},
-	}
+	e.sched = s
+	e.stats = Stats{Running: -1}
+	return e
 }
 
 // Stats returns a consistent snapshot of progress.
@@ -137,10 +204,57 @@ func (e *Executor) Done() bool {
 	return e.done
 }
 
+// Probe evaluates the admission controller against the executor's live state
+// for a candidate transaction, without registering anything: the decision the
+// controller *would* make if t arrived now. With no controller configured it
+// always admits. The server's POST /api/submit endpoint is built on this.
+func (e *Executor) Probe(t *txn.Transaction) (bool, Stats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ctrl == nil {
+		return true, e.stats
+	}
+	return e.ctrl.Admit(t, e.admitStateLocked(e.stats.Now)), e.stats
+}
+
+// AdmissionDegraded reports whether the admission controller is currently in
+// degradation mode (always false without a controller). It asks the
+// controller directly, so a controller that starts out degraded is reported
+// before the replay's first completion.
+func (e *Executor) AdmissionDegraded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ctrl == nil {
+		return false
+	}
+	return e.ctrl.Degraded()
+}
+
+// admitStateLocked assembles the controller's view of the system. Callers
+// hold e.mu.
+func (e *Executor) admitStateLocked(now float64) admit.State {
+	running := 0
+	if e.stats.Running >= 0 {
+		running = 1
+	}
+	return admit.State{
+		Now:       now,
+		Queued:    e.stats.Submitted - e.stats.Completed - e.stats.Held - running,
+		Running:   running,
+		Servers:   1,
+		Backlog:   e.stats.Backlog,
+		Completed: e.stats.Completed,
+		Misses:    e.stats.Misses,
+	}
+}
+
 // Run replays the workload to completion or until ctx is cancelled. It
 // returns the number of completed transactions and an error if the context
 // ended the run early or the scheduler misbehaved.
 func (e *Executor) Run(ctx context.Context) (int, error) {
+	if e.initErr != nil {
+		return 0, fmt.Errorf("executor: %w", e.initErr)
+	}
 	order := make([]*txn.Transaction, e.set.Len())
 	copy(order, e.set.Txns)
 	sort.SliceStable(order, func(i, j int) bool {
@@ -159,17 +273,84 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 	var now float64 // event time, in simulated units
 	nextArr := 0
 	completed := 0
+	shed := 0
 	n := e.set.Len()
+	stallSeen := -1
 
-	// deliver hands every due arrival to the scheduler.
+	// deliver hands every due arrival to the scheduler, consulting the
+	// admission controller first when one is configured.
 	deliver := func(now float64) {
 		for nextArr < n && order[nextArr].Arrival <= now {
-			e.sched.OnArrival(now, order[nextArr])
-			e.mu.Lock()
-			e.stats.Submitted++
-			e.mu.Unlock()
+			t := order[nextArr]
 			nextArr++
+			e.mu.Lock()
+			if e.ctrl != nil && t.Shed {
+				// Marked by an earlier cascade: a dependency was shed, so
+				// this transaction could never become ready.
+				shed++
+				e.stats.Shed = shed
+				e.stats.Now = now
+				e.mu.Unlock()
+				e.rec.Shed(now, t, "cascade")
+				continue
+			}
+			if e.ctrl != nil && !e.ctrl.Admit(t, e.admitStateLocked(now)) {
+				admit.CascadeShed(e.set, t)
+				shed++
+				e.stats.Shed = shed
+				e.stats.Now = now
+				e.mu.Unlock()
+				e.rec.Shed(now, t, e.ctrl.Name())
+				continue
+			}
+			e.stats.Submitted++
+			e.stats.Backlog += t.Remaining
+			e.stats.Now = now
+			e.mu.Unlock()
+			e.sched.OnArrival(now, t)
 		}
+	}
+
+	// deliverRestarts re-queues aborted transactions whose backoff expired.
+	deliverRestarts := func(now float64) {
+		if e.inj == nil {
+			return
+		}
+		for _, t := range e.inj.PopDueRestarts(now) {
+			e.mu.Lock()
+			e.stats.Restarts++
+			e.stats.Held = e.inj.Held()
+			e.mu.Unlock()
+			e.rec.Restart(now, t)
+			e.sched.OnPreempt(now, t)
+		}
+	}
+
+	// enterStall records an outage window's entry exactly once.
+	enterStall := func(now float64, w fault.Window, idx int) {
+		if idx == stallSeen {
+			return
+		}
+		stallSeen = idx
+		e.inj.RecordStallEntered()
+		e.mu.Lock()
+		e.stats.Stalls++
+		e.mu.Unlock()
+		e.rec.StallEntered(now, w)
+	}
+
+	// nextRestart/nextStallStart are +Inf without an injector.
+	nextRestart := func() float64 {
+		if e.inj == nil {
+			return inf
+		}
+		return e.inj.NextRestart()
+	}
+	nextStallStart := func(now float64) float64 {
+		if e.inj == nil {
+			return inf
+		}
+		return e.inj.NextStallStart(now)
 	}
 
 	// sleepUntil waits for a clock instant, honouring cancellation.
@@ -188,21 +369,55 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		e.mu.Unlock()
 	}()
 
-	for completed < n {
+	for completed+shed < n {
 		if err := ctx.Err(); err != nil {
 			return completed, err
 		}
+
+		// Stalled backend: arrivals queue and backoffs expire, but nothing
+		// runs until the window ends.
+		if e.inj != nil {
+			if w, idx, ok := e.inj.InStall(now); ok {
+				enterStall(now, w, idx)
+				event := w.End()
+				if nextArr < n && order[nextArr].Arrival < event {
+					event = order[nextArr].Arrival
+				}
+				if r := nextRestart(); r < event {
+					event = r
+				}
+				if err := sleepUntil(wallAt(event)); err != nil {
+					return completed, err
+				}
+				now = event
+				deliverRestarts(now)
+				deliver(now)
+				continue
+			}
+		}
+
 		t := e.sched.Next(now)
 		if t == nil {
-			if nextArr >= n {
-				return completed, fmt.Errorf("executor: no ready transaction and no future arrivals with %d/%d complete", completed, n)
+			// Idle: pace to the next arrival, restart expiry or outage
+			// window, then advance event time to it.
+			next := inf
+			if nextArr < n {
+				next = order[nextArr].Arrival
 			}
-			// Idle: pace to the next arrival's wall instant, then advance
-			// event time to it.
-			now = order[nextArr].Arrival
+			if r := nextRestart(); r < next {
+				next = r
+			}
+			if ss := nextStallStart(now); ss < next {
+				next = ss
+			}
+			if next == inf {
+				return completed, fmt.Errorf("executor: no ready transaction, no future arrivals and no pending restarts with %d/%d complete", completed, n)
+			}
+			now = next
 			if err := sleepUntil(wallAt(now)); err != nil {
 				return completed, err
 			}
+			deliverRestarts(now)
 			deliver(now)
 			continue
 		}
@@ -212,20 +427,50 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		e.stats.Now = now
 		e.mu.Unlock()
 
-		// Run until completion or the next arrival, whichever first.
+		// Run until completion, the next arrival, the next restart expiry
+		// or the next outage window, whichever first.
 		finishSim := now + t.Remaining
-		if nextArr < n && order[nextArr].Arrival < finishSim {
-			boundary := order[nextArr].Arrival
+		boundary := finishSim
+		if nextArr < n && order[nextArr].Arrival < boundary {
+			boundary = order[nextArr].Arrival
+		}
+		if r := nextRestart(); r < boundary {
+			boundary = r
+		}
+		if ss := nextStallStart(now); ss < boundary {
+			boundary = ss
+		}
+
+		if boundary < finishSim {
 			if err := sleepUntil(wallAt(boundary)); err != nil {
 				return completed, err
 			}
-			t.Remaining -= boundary - now
+			dt := boundary - now
+			t.Remaining -= dt
 			now = boundary
-			e.sched.OnPreempt(now, t)
 			e.mu.Lock()
 			e.stats.Running = -1
 			e.stats.Now = now
+			e.stats.Backlog -= dt
 			e.mu.Unlock()
+			// An outage window opening here preempts t; a crash window
+			// additionally destroys its in-flight progress.
+			if e.inj != nil {
+				if w, idx, ok := e.inj.InStall(now); ok {
+					enterStall(now, w, idx)
+					if w.Kind == fault.Crash {
+						e.inj.RecordCrashLoss(t)
+						e.mu.Lock()
+						e.stats.Aborts++
+						e.stats.Backlog += t.Length - t.Remaining
+						e.mu.Unlock()
+						t.Remaining = t.Length
+						e.rec.Abort(now, t, "crash", now)
+					}
+				}
+			}
+			e.sched.OnPreempt(now, t)
+			deliverRestarts(now)
 			deliver(now)
 			continue
 		}
@@ -233,7 +478,28 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		if err := sleepUntil(wallAt(finishSim)); err != nil {
 			return completed, err
 		}
+		consumed := t.Remaining
 		now = finishSim
+
+		// The injector may abort the attempt at its completion instant: the
+		// transaction stays checked out while it waits out the backoff and
+		// re-enters the scheduler via OnPreempt when it expires.
+		if e.inj != nil && e.inj.AbortsAttempt(t) {
+			retryAt := e.inj.RecordAbort(now, t)
+			e.mu.Lock()
+			e.stats.Aborts++
+			e.stats.Held = e.inj.Held()
+			e.stats.Backlog += t.Length - consumed
+			e.stats.Running = -1
+			e.stats.Now = now
+			e.mu.Unlock()
+			t.Remaining = t.Length
+			e.rec.Abort(now, t, "abort", retryAt)
+			deliverRestarts(now)
+			deliver(now)
+			continue
+		}
+
 		t.Remaining = 0
 		t.Finished = true
 		t.FinishTime = now
@@ -241,10 +507,12 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		e.sched.OnCompletion(now, t)
 
 		tard := t.Tardiness()
+		var degradeFlip, degradeTo bool
 		e.mu.Lock()
 		e.stats.Completed = completed
 		e.stats.Now = now
 		e.stats.Running = -1
+		e.stats.Backlog -= consumed
 		e.stats.SumTardiness += tard
 		if tard > e.stats.MaxTardiness {
 			e.stats.MaxTardiness = tard
@@ -252,10 +520,21 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		if tard > 0 {
 			e.stats.Misses++
 		}
+		if e.ctrl != nil {
+			e.ctrl.Complete(t, tard > 0)
+			if d := e.ctrl.Degraded(); d != e.stats.Degraded {
+				e.stats.Degraded = d
+				degradeFlip, degradeTo = true, d
+			}
+		}
 		e.mu.Unlock()
+		if degradeFlip {
+			e.rec.Degrade(now, degradeTo)
+		}
 		if e.opts.OnComplete != nil {
 			e.opts.OnComplete(t, now)
 		}
+		deliverRestarts(now)
 		deliver(now)
 	}
 	return completed, nil

@@ -15,10 +15,20 @@ import (
 	"repro/internal/txn"
 )
 
-// Summary aggregates one simulation run over a complete workload.
+// Summary aggregates one simulation run over a complete workload. When an
+// admission controller shed transactions, every tardiness/response aggregate
+// covers the admitted (completed) transactions only; Shed counts the rest.
 type Summary struct {
-	// N is the number of transactions.
+	// N is the number of admitted (completed) transactions.
 	N int
+	// Shed is the number of transactions the admission controller rejected;
+	// zero for runs without overload protection.
+	Shed int
+	// Aborts, Restarts and Stalls count injected faults (zero without a
+	// fault plan); the sim fills them in after Compute.
+	Aborts   int
+	Restarts int
+	Stalls   int
 	// AvgTardiness is (1/N) * sum t_i (Definition 4).
 	AvgTardiness float64
 	// AvgWeightedTardiness is (1/N) * sum t_i*w_i (Definition 5).
@@ -50,21 +60,26 @@ type Summary struct {
 
 // Compute derives a Summary from a finished workload. busyTime is the total
 // service time the simulator performed (equal to TotalWork for a
-// work-conserving schedule that completes everything). It returns an error
-// if any transaction is unfinished, because a partial run has no meaningful
-// tardiness.
+// work-conserving schedule that completes everything). Transactions marked
+// Shed are excluded from every aggregate and counted in Summary.Shed; any
+// other unfinished transaction is an error, because a partial run has no
+// meaningful tardiness.
 func Compute(set *txn.Set, busyTime float64) (*Summary, error) {
-	n := set.Len()
-	if n == 0 {
+	if set.Len() == 0 {
 		return &Summary{}, nil
 	}
-	s := &Summary{N: n, BusyTime: busyTime}
-	tard := make([]float64, 0, n)
+	s := &Summary{BusyTime: busyTime}
+	tard := make([]float64, 0, set.Len())
 	misses := 0
 	for _, t := range set.Txns {
+		if t.Shed {
+			s.Shed++
+			continue
+		}
 		if !t.Finished {
 			return nil, fmt.Errorf("metrics: transaction %d is unfinished", t.ID)
 		}
+		s.N++
 		ti := t.Tardiness()
 		tard = append(tard, ti)
 		s.AvgTardiness += ti
@@ -86,7 +101,11 @@ func Compute(set *txn.Set, busyTime float64) (*Summary, error) {
 			s.Makespan = t.FinishTime
 		}
 	}
-	fn := float64(n)
+	if s.N == 0 {
+		// Everything was shed; there are no completions to average.
+		return s, nil
+	}
+	fn := float64(s.N)
 	s.AvgTardiness /= fn
 	s.AvgWeightedTardiness /= fn
 	s.AvgResponseTime /= fn

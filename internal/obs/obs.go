@@ -54,6 +54,24 @@ const (
 	// KindModeSwitch — an ASETS* scheduling entity migrated between the
 	// EDF-List and the HDF-List (its representative expired).
 	KindModeSwitch
+	// KindAbort — a transaction's completion attempt aborted (fault
+	// injection) or its in-flight work was lost to a backend crash; Detail
+	// distinguishes "abort" from "crash".
+	KindAbort
+	// KindRestart — an aborted transaction re-entered the scheduler after
+	// its backoff expired.
+	KindRestart
+	// KindStall — the backend entered a stall/crash outage window; Detail
+	// carries the window kind, Remaining its duration.
+	KindStall
+	// KindShed — the admission controller rejected an arriving transaction;
+	// Detail names the controller.
+	KindShed
+	// KindDegradeEnter — the admission controller crossed into degradation
+	// mode.
+	KindDegradeEnter
+	// KindDegradeExit — the admission controller left degradation mode.
+	KindDegradeExit
 )
 
 // String returns the stable wire name of the kind, used in JSONL output,
@@ -74,6 +92,18 @@ func (k Kind) String() string {
 		return "aging"
 	case KindModeSwitch:
 		return "mode_switch"
+	case KindAbort:
+		return "abort"
+	case KindRestart:
+		return "restart"
+	case KindStall:
+		return "stall"
+	case KindShed:
+		return "shed"
+	case KindDegradeEnter:
+		return "degrade_enter"
+	case KindDegradeExit:
+		return "degrade_exit"
 	default:
 		panic(fmt.Sprintf("obs: unknown event kind %d", int(k)))
 	}
@@ -142,7 +172,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 
 // KindFromString is the inverse of Kind.String.
 func KindFromString(s string) (Kind, error) {
-	for k := KindArrival; k <= KindModeSwitch; k++ {
+	for k := KindArrival; k <= KindDegradeExit; k++ {
 		if k.String() == s {
 			return k, nil
 		}

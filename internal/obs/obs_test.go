@@ -10,7 +10,8 @@ import (
 
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindArrival, KindDispatch, KindPreempt, KindCompletion,
-		KindDeadlineMiss, KindAging, KindModeSwitch}
+		KindDeadlineMiss, KindAging, KindModeSwitch, KindAbort, KindRestart,
+		KindStall, KindShed, KindDegradeEnter, KindDegradeExit}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

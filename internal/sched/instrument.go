@@ -174,6 +174,10 @@ func (s innerSink) Emit(ev obs.Event) {
 	case obs.KindArrival, obs.KindDispatch, obs.KindPreempt,
 		obs.KindCompletion, obs.KindDeadlineMiss:
 		// Decision-loop kinds are counted by the wrapper itself.
+	case obs.KindAbort, obs.KindRestart, obs.KindStall, obs.KindShed,
+		obs.KindDegradeEnter, obs.KindDegradeExit:
+		// Fault-layer kinds are counted by fault.Recorder at their emission
+		// site (the sim/executor event loop); pass them through unchanged.
 	default:
 		panic("sched: innerSink received unknown event kind")
 	}

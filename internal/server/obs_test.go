@@ -38,7 +38,7 @@ func runToCompletion(t *testing.T, s *Server) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	select {
-	case <-s.Start(ctx):
+	case <-mustStart(t, s, ctx):
 	case <-ctx.Done():
 		t.Fatal("replay did not finish in time")
 	}

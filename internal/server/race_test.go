@@ -17,7 +17,7 @@ func TestHammerConcurrentRequests(t *testing.T) {
 	s, ts := testServer(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	done := s.Start(ctx)
+	done := mustStart(t, s, ctx)
 
 	paths := []string{"/", "/api/stats", "/api/recent?limit=5", "/healthz", "/metrics", "/events?limit=10"}
 	var wg sync.WaitGroup
@@ -64,7 +64,7 @@ func TestHammerConcurrentRequests(t *testing.T) {
 func TestWaitJoinsCancelledReplay(t *testing.T) {
 	s, _ := testServer(t)
 	runCtx, cancel := context.WithCancel(context.Background())
-	s.Start(runCtx)
+	mustStart(t, s, runCtx)
 	cancel()
 
 	joinCtx, joinCancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -7,23 +7,35 @@
 //
 // Endpoints:
 //
-//	GET /              HTML dashboard (auto-refreshing)
-//	GET /api/stats     executor statistics snapshot (JSON)
-//	GET /api/recent    most recent completions, newest first (JSON)
-//	GET /api/workload  the full workload being replayed (JSON)
-//	GET /metrics       live metrics, Prometheus text exposition format
-//	GET /events        recent scheduler decision events, newest first (JSON)
-//	GET /healthz       liveness probe
+//	GET  /              HTML dashboard (auto-refreshing)
+//	GET  /api/stats     executor statistics snapshot (JSON)
+//	GET  /api/recent    most recent completions, newest first (JSON)
+//	GET  /api/workload  the full workload being replayed (JSON)
+//	POST /api/submit    admission gate: would this transaction be served now?
+//	GET  /metrics       live metrics, Prometheus text exposition format
+//	GET  /events        recent scheduler decision events, newest first (JSON)
+//	GET  /healthz       liveness probe; 503 "degraded" while the admission
+//	                    controller is in degradation mode
+//
+// POST /api/submit is an honest admission gate rather than a mutation: the
+// replayed workload is fixed at construction (schedulers use dense
+// transaction IDs), so the endpoint evaluates the configured admission
+// controller against the executor's live state and answers 202 (would be
+// admitted) or 429 with a Retry-After hint derived from the live backlog
+// (would be shed). docs/ROBUSTNESS.md covers the design.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/executor"
 	"repro/internal/obs"
@@ -50,20 +62,22 @@ type Completion struct {
 // Server hosts the dashboard for one executor run. Create with New, mount
 // anywhere via http.Handler, and call Start to begin the replay.
 type Server struct {
-	set    *txn.Set
-	cfg    *workload.Config
-	policy string
-	exec   *executor.Executor
-	mux    *http.ServeMux
-	reg    *obs.Registry
-	ring   *obs.Ring
+	set       *txn.Set
+	cfg       *workload.Config
+	policy    string
+	admitName string
+	timeScale time.Duration
+	exec      *executor.Executor
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	ring      *obs.Ring
 
 	mu     sync.Mutex
 	recent []Completion // ring buffer, next points at the oldest slot
 	next   int
 	total  int
 
-	runOnce sync.Once
+	started bool
 	runErr  error
 	done    chan struct{}
 }
@@ -72,11 +86,19 @@ type Server struct {
 // is optional provenance served by /api/workload.
 func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts executor.Options) *Server {
 	s := &Server{
-		set:    set,
-		cfg:    cfg,
-		policy: policy.Name(),
-		mux:    http.NewServeMux(),
-		done:   make(chan struct{}),
+		set:       set,
+		cfg:       cfg,
+		policy:    policy.Name(),
+		admitName: "none",
+		timeScale: opts.TimeScale,
+		mux:       http.NewServeMux(),
+		done:      make(chan struct{}),
+	}
+	if opts.Admit != nil {
+		s.admitName = opts.Admit.Name()
+	}
+	if s.timeScale <= 0 {
+		s.timeScale = 200 * time.Microsecond // executor.New's default
 	}
 	userComplete := opts.OnComplete
 	opts.OnComplete = func(t *txn.Transaction, finish float64) {
@@ -104,6 +126,7 @@ func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts execut
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/recent", s.handleRecent)
 	s.mux.HandleFunc("GET /api/workload", s.handleWorkload)
+	s.mux.HandleFunc("POST /api/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -117,19 +140,31 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Start launches the replay in a background goroutine (idempotent). The
-// returned channel closes when the replay finishes or ctx is cancelled.
-func (s *Server) Start(ctx context.Context) <-chan struct{} {
-	s.runOnce.Do(func() {
-		go func() {
-			defer close(s.done)
-			_, err := s.exec.Run(ctx)
-			s.mu.Lock()
-			s.runErr = err
-			s.mu.Unlock()
-		}()
-	})
-	return s.done
+// ErrAlreadyStarted is returned by Start when the replay was already
+// launched: a Server replays its workload exactly once.
+var ErrAlreadyStarted = errors.New("server: replay already started (a Server is single-use; build a new one to replay again)")
+
+// Start launches the replay in a background goroutine. The returned channel
+// closes when the replay finishes or ctx is cancelled. A Server is
+// single-use: a second Start returns ErrAlreadyStarted without touching the
+// running replay (restarting would re-enter the executor over a consumed
+// workload and corrupt the scheduler's state).
+func (s *Server) Start(ctx context.Context) (<-chan struct{}, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, ErrAlreadyStarted
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		_, err := s.exec.Run(ctx)
+		s.mu.Lock()
+		s.runErr = err
+		s.mu.Unlock()
+	}()
+	return s.done, nil
 }
 
 // Err returns the replay error, if any, once the run has ended.
@@ -191,6 +226,7 @@ func (s *Server) recentSnapshot(limit int) []Completion {
 // statsPayload is the /api/stats response document.
 type statsPayload struct {
 	Policy       string  `json:"policy"`
+	Admit        string  `json:"admit"`
 	N            int     `json:"n"`
 	Now          float64 `json:"now"`
 	Submitted    int     `json:"submitted"`
@@ -199,6 +235,12 @@ type statsPayload struct {
 	AvgTardiness float64 `json:"avg_tardiness"`
 	MaxTardiness float64 `json:"max_tardiness"`
 	Misses       int     `json:"misses"`
+	Shed         int     `json:"shed"`
+	Aborts       int     `json:"aborts"`
+	Restarts     int     `json:"restarts"`
+	Stalls       int     `json:"stalls"`
+	Backlog      float64 `json:"backlog"`
+	Degraded     bool    `json:"degraded"`
 	Done         bool    `json:"done"`
 }
 
@@ -206,6 +248,7 @@ func (s *Server) statsNow() statsPayload {
 	st := s.exec.Stats()
 	return statsPayload{
 		Policy:       s.policy,
+		Admit:        s.admitName,
 		N:            s.set.Len(),
 		Now:          st.Now,
 		Submitted:    st.Submitted,
@@ -214,6 +257,12 @@ func (s *Server) statsNow() statsPayload {
 		AvgTardiness: st.AvgTardiness(),
 		MaxTardiness: st.MaxTardiness,
 		Misses:       st.Misses,
+		Shed:         st.Shed,
+		Aborts:       st.Aborts,
+		Restarts:     st.Restarts,
+		Stalls:       st.Stalls,
+		Backlog:      st.Backlog,
+		Degraded:     st.Degraded,
 		Done:         s.exec.Done(),
 	}
 }
@@ -279,7 +328,96 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.exec.AdmissionDegraded() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// submitBodyLimit caps POST /api/submit request bodies: the document is a
+// three-field JSON object, so anything past a few KiB is abuse.
+const submitBodyLimit = 4 << 10
+
+// submitRequest is the POST /api/submit request document. Deadline is an
+// offset from the executor's current simulated time.
+type submitRequest struct {
+	Length   float64 `json:"length"`
+	Deadline float64 `json:"deadline"`
+	Weight   float64 `json:"weight"` // default 1
+}
+
+// submitDecision is the POST /api/submit response document.
+type submitDecision struct {
+	Admitted   bool    `json:"admitted"`
+	Controller string  `json:"controller"`
+	Now        float64 `json:"now"`
+	Backlog    float64 `json:"backlog"`
+	Degraded   bool    `json:"degraded"`
+	// RetryAfterSeconds mirrors the Retry-After header on shed answers: the
+	// wall-clock time the live backlog needs to drain at the configured
+	// TimeScale.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, submitBodyLimit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "submit: "+err.Error(), status)
+		return
+	}
+	if req.Weight == 0 {
+		req.Weight = 1
+	}
+	switch {
+	case req.Length <= 0:
+		http.Error(w, fmt.Sprintf("submit: length %v must be positive", req.Length), http.StatusBadRequest)
+		return
+	case req.Deadline < 0:
+		http.Error(w, fmt.Sprintf("submit: deadline offset %v must be non-negative", req.Deadline), http.StatusBadRequest)
+		return
+	case req.Weight <= 0:
+		http.Error(w, fmt.Sprintf("submit: weight %v must be positive", req.Weight), http.StatusBadRequest)
+		return
+	}
+	st := s.exec.Stats()
+	cand := &txn.Transaction{
+		ID: -1, Arrival: st.Now, Deadline: st.Now + req.Deadline,
+		Length: req.Length, Remaining: req.Length, Weight: req.Weight,
+	}
+	admitted, live := s.exec.Probe(cand)
+	w.Header().Set("Content-Type", "application/json")
+	resp := submitDecision{
+		Admitted:   admitted,
+		Controller: s.admitName,
+		Now:        live.Now,
+		Backlog:    live.Backlog,
+		Degraded:   live.Degraded,
+	}
+	if !admitted {
+		// Retry once the live backlog has drained (at least 1s so the
+		// header is meaningful to coarse-grained clients).
+		secs := math.Ceil(live.Backlog * s.timeScale.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		resp.RetryAfterSeconds = secs
+		w.Header().Set("Retry-After", strconv.Itoa(int(secs)))
+		w.WriteHeader(http.StatusTooManyRequests)
+		writeJSONBody(w, resp)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, resp)
 }
 
 var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
@@ -299,6 +437,9 @@ completed {{.Stats.Completed}} |
 misses {{.Stats.Misses}} |
 avg tardiness {{printf "%.3f" .Stats.AvgTardiness}} |
 max {{printf "%.2f" .Stats.MaxTardiness}}
+{{if .Stats.Shed}}| shed {{.Stats.Shed}}{{end}}
+{{if .Stats.Aborts}}| aborts {{.Stats.Aborts}}{{end}}
+{{if .Stats.Degraded}}| <b class="tardy">degraded</b>{{end}}
 {{if .Stats.Done}}| <b>done</b>{{end}}</p>
 <table>
 <tr><th>txn</th><th>finish</th><th>deadline</th><th>tardiness</th><th>weight</th></tr>
@@ -327,6 +468,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching headers, for handlers that set a
+// non-200 status (headers must precede WriteHeader).
+func writeJSONBody(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

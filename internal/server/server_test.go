@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -23,6 +24,15 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+func mustStart(t *testing.T, s *Server, ctx context.Context) <-chan struct{} {
+	t.Helper()
+	done, err := s.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return done
 }
 
 func getJSON(t *testing.T, url string, out any) {
@@ -54,7 +64,7 @@ func TestFullRunThroughHTTP(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	select {
-	case <-s.Start(ctx):
+	case <-mustStart(t, s, ctx):
 	case <-ctx.Done():
 		t.Fatal("run did not finish in time")
 	}
@@ -83,16 +93,19 @@ func TestFullRunThroughHTTP(t *testing.T) {
 	}
 }
 
-func TestStartIdempotent(t *testing.T) {
+func TestStartSingleUse(t *testing.T) {
 	s, _ := testServer(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	c1 := s.Start(ctx)
-	c2 := s.Start(ctx)
-	if c1 != c2 {
-		t.Fatal("Start returned different channels")
+	c1 := mustStart(t, s, ctx)
+	if _, err := s.Start(ctx); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("second Start = %v, want ErrAlreadyStarted", err)
 	}
 	<-c1
+	// Still rejected after the replay finished: the workload is consumed.
+	if _, err := s.Start(ctx); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("post-completion Start = %v, want ErrAlreadyStarted", err)
+	}
 }
 
 func TestRecentBadLimit(t *testing.T) {
@@ -127,7 +140,7 @@ func TestDashboardHTML(t *testing.T) {
 	s, ts := testServer(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	<-s.Start(ctx)
+	<-mustStart(t, s, ctx)
 
 	resp, err := http.Get(ts.URL + "/")
 	if err != nil {
@@ -184,7 +197,7 @@ func TestRecentRingWraps(t *testing.T) {
 	s := New(core.New(), set, nil, executor.Options{TimeScale: 5 * time.Microsecond})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	<-s.Start(ctx)
+	<-mustStart(t, s, ctx)
 	if err := s.Err(); err != nil {
 		t.Fatal(err)
 	}

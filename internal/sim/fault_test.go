@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// hammerPlan exercises every fault mechanism at once.
+func hammerPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed: 0xFA117, AbortProb: 0.25, MaxRestarts: 3,
+		BackoffBase: 0.5, BackoffCap: 4,
+		Stalls: []fault.Window{
+			{Start: 8, Duration: 3},
+			{Start: 40, Duration: 2, Kind: fault.Crash},
+		},
+		Bursts: []fault.Burst{{At: 20, Width: 8}},
+	}
+}
+
+func goldenPolicies() []sched.Scheduler {
+	return []sched.Scheduler{
+		sched.NewFCFS(), sched.NewEDF(), sched.NewSRPT(), sched.NewLS(),
+		sched.NewHDF(), core.New(), core.NewReady(),
+	}
+}
+
+// TestZeroPlanBitIdentical is the satellite acceptance criterion: a fault
+// plan with zero fault rates (and an always-admit controller) must reproduce
+// the exact golden schedules of the plain simulator — the fault layer is
+// bit-for-bit invisible when it injects nothing.
+func TestZeroPlanBitIdentical(t *testing.T) {
+	cfg := workload.Default(0.85, 0xA5E75).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 200
+	for _, p := range goldenPolicies() {
+		set := workload.MustGenerate(cfg)
+		rec := &trace.Recorder{}
+		zero := &fault.Plan{Seed: 99} // non-nil, injects nothing
+		if !zero.Zero() {
+			t.Fatal("test plan is not zero")
+		}
+		if _, err := Run(set, p, Options{Recorder: rec, Faults: zero, Admit: admit.Unconditional{}}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if got, want := scheduleDigest(rec), goldenDigests[p.Name()]; got != want {
+			t.Errorf("%s: zero-plan digest %#x != golden %#x — the fault layer leaks into fault-free runs", p.Name(), got, want)
+		}
+	}
+}
+
+// faultStream runs one faulty, shedding simulation and returns the
+// serialized decision-event stream plus the run summary.
+func faultStream(t *testing.T, s sched.Scheduler) ([]byte, *metricsSummary) {
+	t.Helper()
+	cfg := workload.Default(1.3, 0xBEEF).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 150
+	set := workload.MustGenerate(cfg)
+	var buf bytes.Buffer
+	sum, err := Run(set, s, Options{
+		Sink:   obs.NewJSONLWriter(&buf),
+		Faults: hammerPlan(),
+		Admit:  admit.QueueCap{Max: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), &metricsSummary{sum.N, sum.Shed, sum.Aborts, sum.Restarts, sum.Stalls, sum.AvgWeightedTardiness}
+}
+
+type metricsSummary struct {
+	n, shed, aborts, restarts, stalls int
+	awt                               float64
+}
+
+// TestFaultRunsByteIdentical is the tentpole determinism criterion: two runs
+// with the same seed, plan and controller produce byte-identical event
+// streams and identical summaries.
+func TestFaultRunsByteIdentical(t *testing.T) {
+	b1, s1 := faultStream(t, core.New())
+	b2, s2 := faultStream(t, core.New())
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same-seed fault runs produced different event streams")
+	}
+	if *s1 != *s2 {
+		t.Fatalf("same-seed fault runs produced different summaries: %+v vs %+v", s1, s2)
+	}
+	if s1.aborts == 0 || s1.restarts == 0 || s1.stalls == 0 || s1.shed == 0 {
+		t.Fatalf("hammer plan injected nothing: %+v", s1)
+	}
+}
+
+// TestFaultScheduleIdenticalAcrossPolicies pins the order-independent keying
+// design: whether transaction i aborts on its k-th attempt is a pure
+// function of (seed, i, k), so every policy experiences the same abort
+// counts — the fault schedule never depends on execution order.
+func TestFaultScheduleIdenticalAcrossPolicies(t *testing.T) {
+	cfg := workload.Default(1.1, 0xC0DE).WithWeights()
+	cfg.N = 120
+	plan := &fault.Plan{Seed: 5, AbortProb: 0.3, MaxRestarts: 2, BackoffBase: 0.25}
+	var wantAborts, wantRestarts = -1, -1
+	for _, p := range goldenPolicies() {
+		set := workload.MustGenerate(cfg)
+		sum, err := Run(set, p, Options{Faults: plan})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if wantAborts < 0 {
+			wantAborts, wantRestarts = sum.Aborts, sum.Restarts
+			if wantAborts == 0 {
+				t.Fatal("plan injected no aborts")
+			}
+			continue
+		}
+		if sum.Aborts != wantAborts || sum.Restarts != wantRestarts {
+			t.Errorf("%s: aborts/restarts %d/%d differ from first policy's %d/%d — fault schedule depends on policy",
+				p.Name(), sum.Aborts, sum.Restarts, wantAborts, wantRestarts)
+		}
+	}
+}
+
+// TestSheddingImprovesOverload is the overload acceptance criterion: past
+// saturation (util > 1), feasibility shedding must strictly lower the
+// admitted-transaction weighted tardiness versus admitting everything.
+func TestSheddingImprovesOverload(t *testing.T) {
+	cfg := workload.Default(1.5, 0xD00D).WithWeights()
+	cfg.N = 200
+	open, err := Run(workload.MustGenerate(cfg), core.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := Run(workload.MustGenerate(cfg), core.New(), Options{Admit: admit.Feasibility{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Shed == 0 {
+		t.Fatal("feasibility gate shed nothing at util 1.5")
+	}
+	if gated.N+gated.Shed != open.N {
+		t.Fatalf("accounting: admitted %d + shed %d != %d", gated.N, gated.Shed, open.N)
+	}
+	if gated.AvgWeightedTardiness >= open.AvgWeightedTardiness {
+		t.Fatalf("shedding did not improve admitted weighted tardiness: gated %v >= open %v",
+			gated.AvgWeightedTardiness, open.AvgWeightedTardiness)
+	}
+}
+
+// singleTxnSet builds a one-transaction workload with exact arithmetic so
+// stall/crash semantics can be asserted to the unit, not statistically.
+func singleTxnSet(t *testing.T) *txn.Set {
+	t.Helper()
+	set, err := txn.NewSet([]*txn.Transaction{
+		{ID: 0, Arrival: 0, Deadline: 20, Length: 10, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestStallExtendsMakespan pins the exact outage semantics on a hand-built
+// scenario: one transaction (arrival 0, length 10) hit by the window [4, 6).
+// A stall pauses it with progress preserved — finish 12, busy time still 10.
+// A crash in the same window destroys the 4 units of progress — the rerun
+// makes busy time 14 and the finish 16, with exactly one abort and no
+// backoff restart (crash loss re-queues immediately).
+func TestStallExtendsMakespan(t *testing.T) {
+	base, err := Run(singleTxnSet(t), sched.NewEDF(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != 10 || base.BusyTime != 10 {
+		t.Fatalf("fault-free baseline: makespan %v busy %v, want 10/10", base.Makespan, base.BusyTime)
+	}
+
+	stalled, err := Run(singleTxnSet(t), sched.NewEDF(), Options{
+		Faults: &fault.Plan{Stalls: []fault.Window{{Start: 4, Duration: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalled.Stalls != 1 {
+		t.Fatalf("stall window not entered: %+v", stalled)
+	}
+	if stalled.Makespan != 12 {
+		t.Fatalf("stall makespan %v, want 12 (10 of work + 2 of outage)", stalled.Makespan)
+	}
+	if stalled.BusyTime != 10 {
+		t.Fatalf("a pure stall must preserve progress: busy %v, want 10", stalled.BusyTime)
+	}
+
+	crashed, err := Run(singleTxnSet(t), sched.NewEDF(), Options{
+		Faults: &fault.Plan{Stalls: []fault.Window{{Start: 4, Duration: 2, Kind: fault.Crash}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Aborts != 1 || crashed.Restarts != 0 {
+		t.Fatalf("crash should count one abort and no backoff restart: %+v", crashed)
+	}
+	if crashed.BusyTime != 14 {
+		t.Fatalf("crash busy time %v, want 14 (4 lost + 10 rerun)", crashed.BusyTime)
+	}
+	if crashed.Makespan != 16 {
+		t.Fatalf("crash makespan %v, want 16 (resume at 6 + full rerun)", crashed.Makespan)
+	}
+}
+
+// TestBurstCompressesArrivals: a flash crowd moves every arrival inside the
+// window to its start. The arrivals must actually move, and — everything
+// arriving no later than before under a work-conserving policy — the last
+// completion cannot move later.
+func TestBurstCompressesArrivals(t *testing.T) {
+	cfg := workload.Default(0.8, 0x1234)
+	cfg.N = 100
+	base, err := Run(workload.MustGenerate(cfg), sched.NewEDF(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := workload.MustGenerate(cfg)
+	burst, err := Run(set, sched.NewEDF(), Options{
+		Faults: &fault.Plan{Bursts: []fault.Burst{{At: 0, Width: base.Makespan}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, tx := range set.Txns {
+		if tx.Arrival == 0 {
+			moved++
+		}
+	}
+	if moved != cfg.N {
+		t.Fatalf("burst spanning the whole run moved only %d/%d arrivals to t=0", moved, cfg.N)
+	}
+	if burst.Makespan > base.Makespan {
+		t.Fatalf("earlier arrivals cannot finish later under work-conserving EDF: %v > %v", burst.Makespan, base.Makespan)
+	}
+}
+
+// TestInvalidPlanRejected: sim.Run surfaces plan validation errors instead
+// of running a half-configured injector.
+func TestInvalidPlanRejected(t *testing.T) {
+	cfg := workload.Default(0.5, 1)
+	cfg.N = 10
+	_, err := Run(workload.MustGenerate(cfg), sched.NewFCFS(), Options{
+		Faults: &fault.Plan{AbortProb: 2},
+	})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

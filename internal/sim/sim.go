@@ -6,12 +6,23 @@
 // replicated web-database backend). The scheduler is consulted only at the
 // two event types ASETS* needs — transaction arrival and transaction
 // completion — and the chosen transactions run until the next such event.
+//
+// Two optional layers extend the paper's fault-free model (see
+// docs/ROBUSTNESS.md): a deterministic fault injector (Options.Faults)
+// contributes abort/restart, backend stall/crash and flash-crowd events, and
+// an admission controller (Options.Admit) may shed arrivals before they
+// reach the scheduler. Both are driven purely by simulated time and seeded
+// draws, so a fixed seed replays bit-identically; with neither configured
+// the event loop is byte-for-byte the paper's original model.
 package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/admit"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -30,16 +41,28 @@ type Options struct {
 	Servers int
 	// MaxSteps bounds the number of scheduling decisions as a safety net
 	// against a buggy scheduler that spins without progress. Zero selects a
-	// generous default proportional to the workload size.
+	// generous default proportional to the workload size (and to the fault
+	// plan's restart budget).
 	MaxSteps int
 	// Sink, when non-nil, receives the typed decision-event stream
 	// (arrivals, dispatches, preemptions, completions, deadline misses,
-	// plus policy-internal aging and mode-switch events) stamped with
-	// simulated time. Nil disables event emission entirely.
+	// plus policy-internal aging and mode-switch events and — with faults
+	// or admission control — abort/restart/stall/shed/degrade events)
+	// stamped with simulated time. Nil disables event emission entirely.
 	Sink obs.Sink
 	// Metrics, when non-nil, accumulates the run's counters and histograms
 	// (see docs/OBSERVABILITY.md for the metric taxonomy).
 	Metrics *obs.Registry
+	// Faults, when non-nil, is the validated fault plan the run executes: a
+	// fresh fault.Injector is built per run, so the same plan subjects
+	// every policy to the identical fault schedule. The plan's flash-crowd
+	// bursts mutate the set's arrival times in place (idempotently).
+	Faults *fault.Plan
+	// Admit, when non-nil, is consulted on every arrival; rejected
+	// transactions are marked Shed, never reach the scheduler, and are
+	// excluded from the summary's tardiness aggregates. Feedback
+	// controllers carry state — build a fresh one per run.
+	Admit admit.Controller
 }
 
 // completionEpsilon absorbs float64 error when a slice boundary lands
@@ -53,7 +76,10 @@ const completionEpsilon = 1e-9
 // Run enforces the check-out protocol documented on sched.Scheduler: every
 // transaction obtained from Next is returned through OnPreempt or
 // OnCompletion before the next Next call burst, and arrivals are delivered
-// only while no transaction is checked out.
+// only while no transaction is checked out. An aborted transaction is the
+// one exception: it stays checked out while it waits out its backoff and is
+// returned through OnPreempt (with its remaining time reset) when the
+// backoff expires.
 func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error) {
 	n := set.Len()
 	servers := opts.Servers
@@ -62,6 +88,27 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 	}
 	if servers < 1 {
 		return nil, fmt.Errorf("sim: servers %d must be positive", opts.Servers)
+	}
+	var inj *fault.Injector
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		inj = fault.NewInjector(opts.Faults, n)
+		opts.Faults.ApplyBursts(set)
+	}
+	ctrl := opts.Admit
+	if ctrl != nil {
+		// Shedding cascades to dependents (a shed dependency can never
+		// complete, so its dependents would deadlock the scheduler), which
+		// requires dependencies to be delivered before their dependents.
+		if err := admit.CheckArrivalOrder(set); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	var rec *fault.Recorder
+	if inj != nil || ctrl != nil {
+		rec = fault.NewRecorder(opts.Sink, opts.Metrics)
 	}
 	set.ResetAll()
 	// The instrumentation wrapper covers every policy at the decision-loop
@@ -83,29 +130,108 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		// Every iteration either completes a transaction, consumes an
-		// arrival, or idles toward one; 8n+64 leaves ample slack.
+		// arrival, or idles toward one; 8n+64 leaves ample slack. Aborts
+		// re-execute transactions and stall windows add boundary events, so
+		// a fault plan scales the budget up.
 		maxSteps = 8*n + 64
-	}
-
-	var (
-		now     float64
-		nextArr int
-		done    int
-		busy    float64
-		steps   int
-		running []*txn.Transaction
-	)
-	deliver := func(upTo float64) {
-		for nextArr < n && order[nextArr].Arrival <= upTo {
-			s.OnArrival(upTo, order[nextArr])
-			nextArr++
+		if inj != nil {
+			maxSteps = maxSteps*(1+opts.Faults.MaxRestarts) + 16*len(opts.Faults.Stalls)
 		}
 	}
 
-	for done < n {
+	var (
+		now      float64
+		nextArr  int
+		done     int
+		shed     int
+		misses   int
+		admitted int
+		backlog  float64 // remaining work over admitted unfinished transactions
+		busy     float64
+		steps    int
+		running  []*txn.Transaction
+		degraded bool
+		// stallSeen marks the outage windows whose entry was recorded, so
+		// the stall event fires exactly once per window hit.
+		stallSeen = -1
+	)
+	heldOut := func() int {
+		if inj == nil {
+			return 0
+		}
+		return inj.Held()
+	}
+	deliver := func(upTo float64) {
+		for nextArr < n && order[nextArr].Arrival <= upTo {
+			t := order[nextArr]
+			nextArr++
+			if ctrl != nil {
+				// Marked by an earlier cascade: a dependency was shed, so
+				// this transaction could never become ready.
+				if t.Shed {
+					shed++
+					rec.Shed(upTo, t, "cascade")
+					continue
+				}
+				st := admit.State{
+					Now: upTo, Queued: admitted - done - heldOut(), Servers: servers,
+					Backlog: backlog, Completed: done, Misses: misses,
+				}
+				if !ctrl.Admit(t, st) {
+					admit.CascadeShed(set, t)
+					shed++
+					rec.Shed(upTo, t, ctrl.Name())
+					continue
+				}
+			}
+			admitted++
+			backlog += t.Remaining
+			s.OnArrival(upTo, t)
+		}
+	}
+	deliverRestarts := func(upTo float64) {
+		if inj == nil {
+			return
+		}
+		for _, t := range inj.PopDueRestarts(upTo) {
+			rec.Restart(upTo, t)
+			s.OnPreempt(upTo, t)
+		}
+	}
+	// enterStall records the outage window's entry event exactly once.
+	enterStall := func(w fault.Window, idx int) {
+		if idx != stallSeen {
+			stallSeen = idx
+			inj.RecordStallEntered()
+			rec.StallEntered(now, w)
+		}
+	}
+
+	for done+shed < n {
 		steps++
 		if steps > maxSteps {
 			return nil, fmt.Errorf("sim: exceeded %d scheduling steps with %d/%d transactions complete (scheduler livelock?)", maxSteps, done, n)
+		}
+
+		// Stalled backend: time passes, arrivals queue and backoffs expire,
+		// but nothing is dispatched or makes progress until the window ends
+		// (running is always empty here — the window's opening preempted
+		// everything back to the scheduler).
+		if inj != nil {
+			if w, idx, ok := inj.InStall(now); ok {
+				enterStall(w, idx)
+				event := w.End()
+				if nextArr < n && order[nextArr].Arrival < event {
+					event = order[nextArr].Arrival
+				}
+				if r := inj.NextRestart(); r < event {
+					event = r
+				}
+				now = event
+				deliverRestarts(now)
+				deliver(now)
+				continue
+			}
 		}
 
 		// Fill the free servers.
@@ -130,16 +256,30 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		}
 
 		if len(running) == 0 {
-			if nextArr >= n {
+			// Idle until the next arrival, restart expiry or outage window.
+			next := math.Inf(1)
+			if nextArr < n {
+				next = order[nextArr].Arrival
+			}
+			if inj != nil {
+				if r := inj.NextRestart(); r < next {
+					next = r
+				}
+				if ss := inj.NextStallStart(now); ss < next {
+					next = ss
+				}
+			}
+			if math.IsInf(next, 1) {
 				return nil, fmt.Errorf("sim: no ready transaction and no future arrivals with %d/%d complete (dependency deadlock?)", done, n)
 			}
-			// Idle until the next arrival.
-			now = order[nextArr].Arrival
+			now = next
+			deliverRestarts(now)
 			deliver(now)
 			continue
 		}
 
-		// Next event: earliest completion among running, or next arrival.
+		// Next event: earliest completion among running, next arrival,
+		// earliest restart expiry, or the next outage window opening.
 		event := now + running[0].Remaining
 		for _, t := range running[1:] {
 			if f := now + t.Remaining; f < event {
@@ -148,6 +288,14 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		}
 		if nextArr < n && order[nextArr].Arrival < event {
 			event = order[nextArr].Arrival
+		}
+		if inj != nil {
+			if r := inj.NextRestart(); r < event {
+				event = r
+			}
+			if ss := inj.NextStallStart(now); ss < event {
+				event = ss
+			}
 		}
 
 		// Advance all servers to the event.
@@ -158,31 +306,80 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 			}
 			t.Remaining -= dt
 			busy += dt
+			backlog -= dt
 		}
 		now = event
 
-		// Complete finished transactions; return the rest to the scheduler
-		// so the next fill re-decides with fresh state.
+		// Complete finished transactions — unless the injector aborts the
+		// attempt, in which case the transaction restarts from scratch
+		// after its backoff; return the rest to the scheduler so the next
+		// fill re-decides with fresh state.
 		still := running[:0]
 		for _, t := range running {
-			if t.Remaining <= completionEpsilon {
-				t.Remaining = 0
-				t.Finished = true
-				t.FinishTime = now
-				done++
-				s.OnCompletion(now, t)
-			} else {
+			if t.Remaining > completionEpsilon {
 				still = append(still, t)
+				continue
+			}
+			if inj != nil && inj.AbortsAttempt(t) {
+				backlog += t.Length - t.Remaining
+				t.Remaining = t.Length
+				retryAt := inj.RecordAbort(now, t)
+				rec.Abort(now, t, "abort", retryAt)
+				continue
+			}
+			backlog -= t.Remaining
+			t.Remaining = 0
+			t.Finished = true
+			t.FinishTime = now
+			done++
+			s.OnCompletion(now, t)
+			if tardy := t.Tardiness() > 0; true {
+				if tardy {
+					misses++
+				}
+				if ctrl != nil {
+					ctrl.Complete(t, tardy)
+					if d := ctrl.Degraded(); d != degraded {
+						degraded = d
+						rec.Degrade(now, d)
+					}
+				}
+			}
+		}
+
+		// An outage window opening at this instant preempts the survivors;
+		// a crash window additionally destroys their in-flight work.
+		if inj != nil {
+			if w, idx, ok := inj.InStall(now); ok {
+				enterStall(w, idx)
+				if w.Kind == fault.Crash {
+					for _, t := range still {
+						backlog += t.Length - t.Remaining
+						t.Remaining = t.Length
+						inj.RecordCrashLoss(t)
+						rec.Abort(now, t, "crash", now)
+					}
+				}
 			}
 		}
 		for _, t := range still {
 			s.OnPreempt(now, t)
 		}
 		running = running[:0]
+		deliverRestarts(now)
 		deliver(now)
 	}
 
-	return metrics.Compute(set, busy)
+	summary, err := metrics.Compute(set, busy)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		summary.Aborts = inj.Aborts()
+		summary.Restarts = inj.Restarts()
+		summary.Stalls = inj.StallsEntered()
+	}
+	return summary, nil
 }
 
 // MustRun is Run but panics on error; for examples and benchmarks where a

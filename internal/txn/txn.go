@@ -45,6 +45,10 @@ type Transaction struct {
 	Finished bool
 	// FinishTime is f_i, valid only once Finished is true.
 	FinishTime float64
+	// Shed reports that the admission controller rejected the transaction
+	// at arrival: it never entered the scheduler and is excluded from the
+	// tardiness aggregates (which cover admitted transactions only).
+	Shed bool
 }
 
 // Slack returns s_i = d_i - (now + Remaining) (Definition 2): the extra time
@@ -89,6 +93,7 @@ func (t *Transaction) Reset() {
 	t.Started = false
 	t.Finished = false
 	t.FinishTime = 0
+	t.Shed = false
 }
 
 // String renders a compact human-readable summary for traces and examples.

@@ -24,8 +24,10 @@ if [ "${1:-}" = "short" ]; then
     echo "== go test (short)"
     go test -short ./...
     # Even the quick loop races the HTTP endpoints (/metrics, /events,
-    # /api/*) against a live replay: the hammer is small and fast.
-    echo "== go test -race (endpoint hammer)"
+    # /api/*) against a live replay — including the fault-injection hammer,
+    # which shares the admission controller between the submit gate and the
+    # replay goroutine. Both hammers are small and fast.
+    echo "== go test -race (endpoint + fault hammers)"
     go test -race -run Hammer ./internal/server
 else
     echo "== go test"
@@ -40,5 +42,9 @@ go run ./cmd/asetslint ./...
 echo "== obs overhead benchmark"
 go run ./cmd/asetsbench -obs-bench BENCH_obs.json -n 400
 cat BENCH_obs.json
+
+echo "== overload shedding benchmark"
+go run ./cmd/asetsbench -fault-bench BENCH_fault.json -n 300 -seeds 2
+cat BENCH_fault.json
 
 echo "all checks passed"
