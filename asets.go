@@ -11,7 +11,7 @@
 // # Quick start
 //
 //	set := repro.MustGenerate(repro.DefaultWorkload(0.8, 42))
-//	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+//	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimConfig{})
 //	fmt.Println(summary.AvgTardiness)
 //
 // See examples/ for complete programs, DESIGN.md for the system inventory,
@@ -62,7 +62,13 @@ type (
 	WorkloadConfig = workload.Config
 	// Summary aggregates one simulation run (Definitions 3-5 metrics).
 	Summary = metrics.Summary
-	// SimOptions configures a simulation run.
+	// SimConfig configures a simulation engine (see NewSim).
+	SimConfig = sim.Config
+	// Sim is a reusable simulation engine bound to one SimConfig.
+	Sim = sim.Sim
+	// SimOptions is the former name of SimConfig.
+	//
+	// Deprecated: use SimConfig with NewSim.
 	SimOptions = sim.Options
 	// TraceRecorder records execution slices for validation.
 	TraceRecorder = trace.Recorder
@@ -116,7 +122,7 @@ func GenerateSessions(cfg SessionConfig) (*Set, []Session, error) {
 // RunClosedLoop simulates interactive sessions to completion under the
 // policy; patience is the page-abandonment bound (0 disables it).
 func RunClosedLoop(set *Set, sessions []Session, s Scheduler, patience float64) (*ClosedLoopResult, error) {
-	return sim.RunClosedLoop(set, sessions, s, patience)
+	return sim.New(sim.Config{Patience: patience}).RunClosedLoop(set, sessions, s)
 }
 
 // DefaultWorkload returns Table I's default configuration at the given
@@ -131,12 +137,17 @@ func Generate(cfg WorkloadConfig) (*Set, error) { return workload.Generate(cfg) 
 // MustGenerate is Generate but panics on error.
 func MustGenerate(cfg WorkloadConfig) *Set { return workload.MustGenerate(cfg) }
 
+// NewSim returns a reusable simulation engine bound to cfg:
+// NewSim(cfg).Run(set, scheduler) for open-loop runs,
+// NewSim(cfg).RunClosedLoop(set, sessions, scheduler) for session replays.
+func NewSim(cfg SimConfig) *Sim { return sim.New(cfg) }
+
 // Run simulates the workload to completion under the scheduler and returns
 // the performance summary.
-func Run(set *Set, s Scheduler, opts SimOptions) (*Summary, error) { return sim.Run(set, s, opts) }
+func Run(set *Set, s Scheduler, cfg SimConfig) (*Summary, error) { return sim.New(cfg).Run(set, s) }
 
 // MustRun is Run but panics on error.
-func MustRun(set *Set, s Scheduler, opts SimOptions) *Summary { return sim.MustRun(set, s, opts) }
+func MustRun(set *Set, s Scheduler, cfg SimConfig) *Summary { return sim.New(cfg).MustRun(set, s) }
 
 // NewASETSStar constructs the paper's scheduler: the general workflow-level
 // weighted policy by default, reducing automatically to transaction-level

@@ -10,7 +10,7 @@ import (
 // public API only.
 func TestFacadeQuickstart(t *testing.T) {
 	set := repro.MustGenerate(repro.DefaultWorkload(0.8, 42))
-	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimConfig{})
 	if summary.N != 1000 {
 		t.Fatalf("n = %d", summary.N)
 	}
@@ -41,7 +41,7 @@ func TestFacadePoliciesRunnable(t *testing.T) {
 	for _, p := range policies {
 		set := repro.MustGenerate(cfg)
 		rec := &repro.TraceRecorder{}
-		sum, err := repro.Run(set, p, repro.SimOptions{Recorder: rec})
+		sum, err := repro.Run(set, p, repro.SimConfig{Recorder: rec})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -121,7 +121,7 @@ func TestFacadeStructuralBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []repro.Scheduler{repro.NewEDF(), repro.NewSRPT(), repro.NewASETSStar()} {
-		repro.MustRun(set, p, repro.SimOptions{})
+		repro.MustRun(set, p, repro.SimConfig{})
 		for _, tx := range set.Txns {
 			if tx.FinishTime < eft[tx.ID]-1e-6 {
 				t.Fatalf("%s: T%d finished at %v below structural bound %v",
@@ -147,7 +147,7 @@ func TestFacadeMultiServer(t *testing.T) {
 	cfg.N = 300
 	set := repro.MustGenerate(cfg)
 	rec := &repro.TraceRecorder{}
-	sum, err := repro.Run(set, repro.NewASETSStar(), repro.SimOptions{Servers: 2, Recorder: rec})
+	sum, err := repro.Run(set, repro.NewASETSStar(), repro.SimConfig{Servers: 2, Recorder: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestDeterministicReplay(t *testing.T) {
 	cfg := repro.DefaultWorkload(0.9, 1234).WithWorkflows(5, 1).WithWeights()
 	cfg.N = 400
 	run := func() *repro.Summary {
-		return repro.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), repro.SimOptions{})
+		return repro.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), repro.SimConfig{})
 	}
 	a, b := run(), run()
 	if a.AvgWeightedTardiness != b.AvgWeightedTardiness || a.Makespan != b.Makespan {

@@ -264,7 +264,7 @@ func benchScheduler(b *testing.B, mk func() repro.Scheduler, cfg repro.WorkloadC
 	set := repro.MustGenerate(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		repro.MustRun(set, mk(), repro.SimOptions{})
+		repro.MustRun(set, mk(), repro.SimConfig{})
 	}
 }
 
@@ -318,7 +318,7 @@ func BenchmarkBackendHeapVsTreap(b *testing.B) {
 			set := repro.MustGenerate(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				repro.MustRun(set, sched.NewPriorityPolicyWithBackend("EDF", less, bk.backend), repro.SimOptions{})
+				repro.MustRun(set, sched.NewPriorityPolicyWithBackend("EDF", less, bk.backend), repro.SimConfig{})
 			}
 		})
 	}

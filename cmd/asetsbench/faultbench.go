@@ -79,7 +79,7 @@ func runFaultBench(w io.Writer, n, seeds int) error {
 				if _, isNone := ctrl.(admit.Unconditional); isNone {
 					ctrl = nil
 				}
-				sum, err := sim.Run(set, core.New(), sim.Options{Faults: faultBenchPlan(), Admit: ctrl})
+				sum, err := sim.New(sim.Config{Faults: faultBenchPlan(), Admit: ctrl}).Run(set, core.New())
 				if err != nil {
 					return fmt.Errorf("util %.2f %s seed %d: %w", util, spec, s, err)
 				}

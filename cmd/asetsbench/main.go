@@ -13,6 +13,7 @@
 //	asetsbench -list                   # list experiment IDs
 //	asetsbench -obs-bench BENCH_obs.json -n 400   # instrumentation overhead
 //	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
+//	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cliflag"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/svgplot"
@@ -42,7 +44,9 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		obsBench   = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
 		faultBench = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
+		parBench   = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
 	)
+	seed := cliflag.AddSeed(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: obs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *parBench != "" {
+		f, err := os.Create(*parBench)
+		if err == nil {
+			err = runParallelBench(f, *n, min(*seeds, 2), *parallel, *seed)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: parallel-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

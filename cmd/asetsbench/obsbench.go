@@ -40,15 +40,15 @@ func runObsBench(w io.Writer, n, reps int) error {
 		return err
 	}
 
-	configs := []sim.Options{
+	configs := []sim.Config{
 		{}, // baseline: no instrumentation
 		{Sink: obs.Discard},
 		{Sink: obs.NewRing(1024), Metrics: obs.NewRegistry()},
 	}
-	runBatch := func(opts sim.Options, runs int) (time.Duration, error) {
+	runBatch := func(cfg sim.Config, runs int) (time.Duration, error) {
 		start := time.Now()
 		for j := 0; j < runs; j++ {
-			if _, err := sim.Run(set, core.New(), opts); err != nil {
+			if _, err := sim.New(cfg).Run(set, core.New()); err != nil {
 				return 0, err
 			}
 		}

@@ -26,10 +26,9 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/admit"
 	"repro/internal/analysis"
+	"repro/internal/cliflag"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -73,7 +72,7 @@ func main() {
 		n        = flag.Int("n", 1000, "number of transactions")
 		kmax     = flag.Float64("kmax", 3.0, "max slack factor")
 		alpha    = flag.Float64("alpha", 0.5, "zipf skew of transaction lengths")
-		seed     = flag.Uint64("seed", 1, "workload seed")
+		seed     = cliflag.AddSeed(flag.CommandLine)
 		wfLen    = flag.Int("wf-len", 1, "max workflow length (1 = independent)")
 		wfMem    = flag.Int("wf-membership", 1, "max workflows per transaction")
 		weights  = flag.Bool("weights", false, "draw weights from [1, 10]")
@@ -91,29 +90,18 @@ func main() {
 		servers  = flag.Int("servers", 1, "number of identical backend servers")
 		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
-		faults   = flag.String("faults", "", "fault plan JSON file (docs/ROBUSTNESS.md)")
-		admitS   = flag.String("admit", "none", "admission controller: none, queue:N, slack[:tol], missratio[:enter,exit]")
 	)
+	rob := cliflag.AddRobustness(flag.CommandLine)
 	flag.Parse()
 
 	// Validate the robustness flags before any work, so a typo is a crisp
 	// CLI error rather than a mid-run failure.
-	var plan *fault.Plan
-	if *faults != "" {
-		var err error
-		if plan, err = fault.Load(*faults); err != nil {
-			fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
-			os.Exit(2)
-		}
+	if err := rob.Load(); err != nil {
+		cliflag.Fatal("asetssim", err)
 	}
-	if _, err := admit.Parse(*admitS); err != nil {
-		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
-		os.Exit(2)
-	}
-	rob := robustness{plan: plan, admitSpec: *admitS}
 
 	if *users > 0 {
-		if rob.active() {
+		if rob.Active() {
 			fmt.Fprintln(os.Stderr, "asetssim: -faults/-admit apply to open-loop runs; the closed-loop simulator (-users) does not support them")
 			os.Exit(2)
 		}
@@ -187,28 +175,6 @@ func main() {
 	runOne(set, s, *servers, wantTrace, *analyze, *gantt, outs, rob)
 }
 
-// robustness bundles the fault-injection/admission configuration of a run.
-// The plan is immutable and shared across -compare runs (each sim builds its
-// own injector); controllers carry feedback state, so each run parses a
-// fresh one from the spec.
-type robustness struct {
-	plan      *fault.Plan
-	admitSpec string
-}
-
-func (r robustness) active() bool { return r.plan != nil || r.admitSpec != "none" }
-
-func (r robustness) controller() admit.Controller {
-	ctrl, err := admit.Parse(r.admitSpec)
-	if err != nil { // validated at startup
-		panic(err)
-	}
-	if _, isNone := ctrl.(admit.Unconditional); isNone {
-		return nil
-	}
-	return ctrl
-}
-
 // wrapInvariants adds per-decision invariant auditing when s is an
 // asets-family scheduler, and returns s unchanged otherwise.
 func wrapInvariants(s sched.Scheduler) sched.Scheduler {
@@ -255,12 +221,12 @@ type obsOutputs struct {
 	timelinePath string // Chrome trace-event timeline (implies tracing)
 }
 
-func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs, rob robustness) {
+func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs, rob *cliflag.Robustness) {
 	var rec *trace.Recorder
-	opts := sim.Options{Servers: servers, Faults: rob.plan, Admit: rob.controller()}
+	cfg := sim.Config{Servers: servers, Faults: rob.Plan(), Admit: rob.Controller()}
 	if doTrace || outs.timelinePath != "" {
 		rec = &trace.Recorder{}
-		opts.Recorder = rec
+		cfg.Recorder = rec
 	}
 
 	// Wire the requested event exports into one sink: the JSONL writer
@@ -287,10 +253,10 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		sinks = append(sinks, col)
 	}
 	if len(sinks) > 0 {
-		opts.Sink = obs.Tee(sinks...)
+		cfg.Sink = obs.Tee(sinks...)
 	}
 
-	summary, err := sim.Run(set, s, opts)
+	summary, err := sim.New(cfg).Run(set, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asetssim: %s: %v\n", s.Name(), err)
 		os.Exit(1)
@@ -322,7 +288,7 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		fmt.Printf("  timeline: wrote %s (load in Perfetto / chrome://tracing)\n", outs.timelinePath)
 	}
 	printSummary(s.Name(), summary)
-	if rob.active() {
+	if rob.Active() {
 		fmt.Printf("  faults: admitted=%d shed=%d aborts=%d restarts=%d stalls=%d\n",
 			summary.N, summary.Shed, summary.Aborts, summary.Restarts, summary.Stalls)
 	}
@@ -330,7 +296,7 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		fmt.Printf("  invariants: %d decision points audited, 0 violations\n", c.Checks())
 	}
 	if rec != nil {
-		if rob.active() {
+		if rob.Active() {
 			// Aborted work re-executes and shed transactions never run, so
 			// the slice-sum validation's invariants do not hold under a
 			// fault plan or an admission controller.
@@ -402,7 +368,7 @@ func runClosedLoop(users int, util float64, seed uint64, policy string, patience
 		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := sim.RunClosedLoop(set, sessions, factory(), patience)
+	res, err := sim.New(sim.Config{Patience: patience}).RunClosedLoop(set, sessions, factory())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -86,7 +87,7 @@ func TestRunOneObsOutputs(t *testing.T) {
 		set := workload.MustGenerate(cfg)
 		runOne(set, core.New(), 1, false, false, false,
 			obsOutputs{eventsPath: eventsPath, timelinePath: timelinePath},
-			robustness{admitSpec: "none"})
+			&cliflag.Robustness{AdmitSpec: "none"})
 		return eventsPath, timelinePath
 	}
 	ev1, tl := run("a")

@@ -34,10 +34,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/admit"
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/executor"
-	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -45,19 +44,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		policy    = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
-		util      = flag.Float64("util", 0.9, "target utilization")
-		n         = flag.Int("n", 1000, "number of transactions")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		wfLen     = flag.Int("wf-len", 5, "max workflow length (1 = independent)")
-		weights   = flag.Bool("weights", true, "draw weights from [1, 10]")
-		scale     = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
-		loop      = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
-		pprofOn   = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
-		faultPath = flag.String("faults", "", "fault plan JSON file (docs/ROBUSTNESS.md)")
-		admitSpec = flag.String("admit", "none", "admission controller: none, queue:N, slack[:tol], missratio[:enter,exit]")
+		addr    = flag.String("addr", ":8080", "listen address")
+		policy  = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
+		util    = flag.Float64("util", 0.9, "target utilization")
+		n       = flag.Int("n", 1000, "number of transactions")
+		seed    = cliflag.AddSeed(flag.CommandLine)
+		wfLen   = flag.Int("wf-len", 5, "max workflow length (1 = independent)")
+		weights = flag.Bool("weights", true, "draw weights from [1, 10]")
+		scale   = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
+		loop    = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
+		pprofOn = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
 	)
+	rob := cliflag.AddRobustness(flag.CommandLine)
 	flag.Parse()
 
 	factories := map[string]func() sched.Scheduler{
@@ -77,17 +75,8 @@ func main() {
 
 	// Validate fault/admission flags before binding the port, so a typo is a
 	// crisp CLI error rather than a replay-goroutine failure.
-	var plan *fault.Plan
-	if *faultPath != "" {
-		var err error
-		if plan, err = fault.Load(*faultPath); err != nil {
-			fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
-			os.Exit(2)
-		}
-	}
-	if _, err := admit.Parse(*admitSpec); err != nil {
-		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
-		os.Exit(2)
+	if err := rob.Load(); err != nil {
+		cliflag.Fatal("asetsweb", err)
 	}
 
 	build := func(seed uint64) (*server.Server, error) {
@@ -106,17 +95,10 @@ func main() {
 		// Controllers carry feedback state, so each replay gets a fresh one;
 		// the fault plan is immutable and shared (each executor builds its
 		// own injector from it).
-		ctrl, err := admit.Parse(*admitSpec)
-		if err != nil {
-			return nil, err
-		}
-		if _, isNone := ctrl.(admit.Unconditional); isNone {
-			ctrl = nil
-		}
 		return server.New(factory(), set, &cfg, executor.Options{
 			TimeScale: *scale,
-			Faults:    plan,
-			Admit:     ctrl,
+			Faults:    rob.Plan(),
+			Admit:     rob.Controller(),
 		}), nil
 	}
 

@@ -11,7 +11,7 @@ import (
 func Example() {
 	cfg := repro.DefaultWorkload(0.7, 42) // utilization 0.7, seed 42
 	set := repro.MustGenerate(cfg)
-	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+	summary := repro.MustRun(set, repro.NewASETSStar(), repro.SimConfig{})
 	fmt.Printf("transactions: %d\n", summary.N)
 	fmt.Printf("all work done: %v\n", summary.BusyTime == summary.TotalWork)
 	// Output:
@@ -32,7 +32,7 @@ func ExampleNewASETSStar_workflows() {
 	if err != nil {
 		panic(err)
 	}
-	repro.MustRun(set, repro.NewASETSStar(), repro.SimOptions{})
+	repro.MustRun(set, repro.NewASETSStar(), repro.SimConfig{})
 	fmt.Printf("alert finished at %.0f (deadline %.0f)\n", alert.FinishTime, alert.Deadline)
 	// Output:
 	// alert finished at 13 (deadline 20)
@@ -42,9 +42,9 @@ func ExampleNewASETSStar_workflows() {
 // periodic activation of the highest weight-to-deadline transaction.
 func ExampleNewASETSStar_balanceAware() {
 	cfg := repro.DefaultWorkload(0.95, 7).WithWorkflows(5, 1).WithWeights()
-	plain := repro.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), repro.SimOptions{})
+	plain := repro.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), repro.SimConfig{})
 	balanced := repro.MustRun(repro.MustGenerate(cfg),
-		repro.NewASETSStar(repro.WithTimeActivation(0.01)), repro.SimOptions{})
+		repro.NewASETSStar(repro.WithTimeActivation(0.01)), repro.SimConfig{})
 	fmt.Printf("worst case improved: %v\n",
 		balanced.MaxWeightedTardiness < plain.MaxWeightedTardiness)
 	// Output:
@@ -58,7 +58,7 @@ func ExampleRun_traceValidation() {
 	cfg.N = 100
 	set := repro.MustGenerate(cfg)
 	rec := &repro.TraceRecorder{}
-	if _, err := repro.Run(set, repro.NewSRPT(), repro.SimOptions{Recorder: rec}); err != nil {
+	if _, err := repro.Run(set, repro.NewSRPT(), repro.SimConfig{Recorder: rec}); err != nil {
 		panic(err)
 	}
 	fmt.Println("schedule valid:", rec.Validate(set) == nil)

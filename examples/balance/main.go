@@ -24,7 +24,7 @@ func main() {
 
 	show := func(label string, s repro.Scheduler) *repro.Summary {
 		set := repro.MustGenerate(cfg)
-		sum := repro.MustRun(set, s, repro.SimOptions{})
+		sum := repro.MustRun(set, s, repro.SimConfig{})
 		fmt.Printf("%-17s %12.2f   %12.2f   %13.2f\n",
 			label, sum.AvgWeightedTardiness, sum.MaxWeightedTardiness, sum.TardinessP99)
 		return sum

@@ -22,7 +22,7 @@ func main() {
 	cfg.N = 600
 
 	// Reference: the discrete-event simulator on the same workload.
-	ref := sim.MustRun(repro.MustGenerate(cfg), repro.NewASETSStar(), sim.Options{})
+	ref := sim.New(sim.Config{}).MustRun(repro.MustGenerate(cfg), repro.NewASETSStar())
 
 	// Live: replay in real time at 1 simulated unit = 250µs (~3 seconds).
 	set := repro.MustGenerate(cfg)

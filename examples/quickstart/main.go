@@ -25,7 +25,7 @@ func main() {
 	} {
 		// Each policy schedules an identical copy of the workload.
 		set := repro.MustGenerate(cfg)
-		summary := repro.MustRun(set, policy, repro.SimOptions{})
+		summary := repro.MustRun(set, policy, repro.SimConfig{})
 		fmt.Printf("%-8s %13.3f   %13.1f%%\n",
 			policy.Name(), summary.AvgTardiness, 100*summary.MissRatio)
 	}

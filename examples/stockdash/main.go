@@ -45,7 +45,7 @@ var names = []string{"T1 stock scan", "T2 portfolio join", "T3 portfolio value",
 func run(policy repro.Scheduler) {
 	set := page()
 	rec := &repro.TraceRecorder{}
-	repro.MustRun(set, policy, repro.SimOptions{Recorder: rec})
+	repro.MustRun(set, policy, repro.SimConfig{Recorder: rec})
 	if err := rec.Validate(set); err != nil {
 		panic(err)
 	}

@@ -55,7 +55,7 @@ func average(u float64, mk func() repro.Scheduler) float64 {
 	seeds := []uint64{11, 22, 33}
 	for _, seed := range seeds {
 		set := repro.MustGenerate(repro.DefaultWorkload(u, seed))
-		sum += repro.MustRun(set, mk(), repro.SimOptions{}).AvgTardiness
+		sum += repro.MustRun(set, mk(), repro.SimConfig{}).AvgTardiness
 	}
 	return sum / float64(len(seeds))
 }

@@ -63,7 +63,7 @@ func TestFullPipeline(t *testing.T) {
 	var asetsTard float64
 	for _, p := range policies {
 		rec := &trace.Recorder{}
-		sum, err := repro.Run(loaded, p, repro.SimOptions{Recorder: rec})
+		sum, err := repro.Run(loaded, p, repro.SimConfig{Recorder: rec})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -93,7 +93,7 @@ func TestFullPipeline(t *testing.T) {
 
 	// 5. Multi-server run on the same workload.
 	recN := &trace.Recorder{}
-	if _, err := sim.Run(loaded, repro.NewASETSStar(), sim.Options{Servers: 3, Recorder: recN}); err != nil {
+	if _, err := sim.New(sim.Config{Servers: 3, Recorder: recN}).Run(loaded, repro.NewASETSStar()); err != nil {
 		t.Fatal(err)
 	}
 	if err := recN.ValidateN(loaded, 3); err != nil {
@@ -125,7 +125,7 @@ func TestFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clRes, err := sim.RunClosedLoop(sset, sessions, repro.NewASETSStar(), 0)
+	clRes, err := sim.New(sim.Config{}).RunClosedLoop(sset, sessions, repro.NewASETSStar())
 	if err != nil {
 		t.Fatal(err)
 	}

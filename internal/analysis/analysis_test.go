@@ -31,7 +31,7 @@ func runTraced(t *testing.T, s sched.Scheduler, txns ...*txn.Transaction) (*txn.
 		t.Fatal(err)
 	}
 	rec := &trace.Recorder{}
-	if _, err := sim.Run(set, s, sim.Options{Recorder: rec}); err != nil {
+	if _, err := sim.New(sim.Config{Recorder: rec}).Run(set, s); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.Validate(set); err != nil {
@@ -159,7 +159,7 @@ func TestWaitsConservation(t *testing.T) {
 	cfg.N = 300
 	set := workload.MustGenerate(cfg)
 	rec := &trace.Recorder{}
-	if _, err := sim.Run(set, core.New(), sim.Options{Recorder: rec}); err != nil {
+	if _, err := sim.New(sim.Config{Recorder: rec}).Run(set, core.New()); err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range Waits(set, rec) {

@@ -95,7 +95,7 @@ func TestDominoEffectVisible(t *testing.T) {
 	run := func(s sched.Scheduler) float64 {
 		set := workload.MustGenerate(cfg)
 		rec := &trace.Recorder{}
-		if _, err := sim.Run(set, s, sim.Options{Recorder: rec}); err != nil {
+		if _, err := sim.New(sim.Config{Recorder: rec}).Run(set, s); err != nil {
 			t.Fatal(err)
 		}
 		return MeanLateShare(BacklogSeries(set, rec, 200))

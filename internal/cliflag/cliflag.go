@@ -1,0 +1,97 @@
+// Package cliflag centralizes the command-line flags the asets CLIs share.
+// asetssim, asetsweb and asetsbench each accept the robustness pair
+// (-faults, -admit) and a workload -seed; before this package each binary
+// re-implemented the registration, validation and fresh-controller logic,
+// and the copies had already drifted in their error messages. A CLI
+// registers the flags with Add*, parses, then calls Robustness.Load — a bad
+// value is a crisp exit-2 usage error (Fatal) before any work starts.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/admit"
+	"repro/internal/fault"
+)
+
+// Robustness bundles the fault-injection/admission flag pair of a run. The
+// loaded plan is immutable and may be shared across runs (each simulation
+// builds its own injector from it); controllers carry feedback state, so
+// Controller parses a fresh one per call.
+type Robustness struct {
+	// FaultPath is the -faults value: a fault.Plan JSON file, empty for none.
+	FaultPath string
+	// AdmitSpec is the -admit value, e.g. "none", "queue:8", "slack:2".
+	AdmitSpec string
+
+	plan *fault.Plan
+}
+
+// AddRobustness registers -faults and -admit on fs and returns the
+// destination. Call Load after fs.Parse.
+func AddRobustness(fs *flag.FlagSet) *Robustness {
+	r := &Robustness{}
+	fs.StringVar(&r.FaultPath, "faults", "", "fault plan JSON file (docs/ROBUSTNESS.md)")
+	fs.StringVar(&r.AdmitSpec, "admit", "none", "admission controller: none, queue:N, slack[:tol], missratio[:enter,exit]")
+	return r
+}
+
+// Load validates both flags — loading the fault plan and parsing the
+// admission spec — so a typo is a startup error rather than a mid-run
+// failure. It must be called (once, after parsing) before Plan or
+// Controller.
+func (r *Robustness) Load() error {
+	if r.FaultPath != "" {
+		plan, err := fault.Load(r.FaultPath)
+		if err != nil {
+			return err
+		}
+		r.plan = plan
+	}
+	if _, err := admit.Parse(r.AdmitSpec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Plan returns the loaded fault plan, or nil when -faults was not given.
+func (r *Robustness) Plan() *fault.Plan { return r.plan }
+
+// Controller returns a fresh admission controller parsed from the spec, or
+// nil when admission is unconditional. Each run must get its own controller:
+// they carry feedback state.
+func (r *Robustness) Controller() admit.Controller {
+	ctrl, err := admit.Parse(r.AdmitSpec)
+	if err != nil {
+		// Load validated the spec; reaching here means Load was skipped.
+		panic(fmt.Sprintf("cliflag: Controller before Load: %v", err))
+	}
+	if _, isNone := ctrl.(admit.Unconditional); isNone {
+		return nil
+	}
+	return ctrl
+}
+
+// Active reports whether either robustness mechanism is configured.
+func (r *Robustness) Active() bool { return r.plan != nil || r.AdmitSpec != "none" }
+
+// AddSeed registers the shared -seed flag (base workload seed) on fs.
+func AddSeed(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 1, "workload seed")
+}
+
+// exit and stderr are seams for the Fatal tests.
+var (
+	exit             = os.Exit
+	stderr io.Writer = os.Stderr
+)
+
+// Fatal reports a flag-level usage error the way flag.Parse does — one line
+// on stderr, exit status 2 — prefixed with the program name.
+func Fatal(prog string, err error) {
+	fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+	exit(2)
+}

@@ -1,0 +1,173 @@
+package cliflag
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseRobustness registers the shared flags on a fresh FlagSet, parses args
+// and runs Load — the exact startup sequence of the CLIs.
+func parseRobustness(t *testing.T, args ...string) (*Robustness, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	r := AddRobustness(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return r, r.Load()
+}
+
+func writePlan(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRobustnessErrors is the table of bad flag values every CLI must turn
+// into an exit-2 usage error via Fatal.
+func TestRobustnessErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args func(t *testing.T) []string
+		want string
+	}{
+		{
+			name: "missing fault plan file",
+			args: func(t *testing.T) []string { return []string{"-faults", "/nonexistent/plan.json"} },
+			want: "no such file",
+		},
+		{
+			name: "malformed fault plan JSON",
+			args: func(t *testing.T) []string { return []string{"-faults", writePlan(t, "{not json")} },
+			want: "invalid character",
+		},
+		{
+			name: "invalid fault plan",
+			args: func(t *testing.T) []string { return []string{"-faults", writePlan(t, `{"abort_prob": 2}`)} },
+			want: "abort",
+		},
+		{
+			name: "unknown admission controller",
+			args: func(t *testing.T) []string { return []string{"-admit", "bogus"} },
+			want: "bogus",
+		},
+		{
+			name: "bad queue capacity",
+			args: func(t *testing.T) []string { return []string{"-admit", "queue:0"} },
+			want: "queue",
+		},
+		{
+			name: "bad missratio thresholds",
+			args: func(t *testing.T) []string { return []string{"-admit", "missratio:0.1"} },
+			want: "missratio",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseRobustness(t, tc.args(t)...)
+			if err == nil {
+				t.Fatalf("args accepted; want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRobustnessDefaultsInactive(t *testing.T) {
+	r, err := parseRobustness(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Active() {
+		t.Fatal("defaults should be inactive")
+	}
+	if r.Plan() != nil {
+		t.Fatal("no -faults should mean a nil plan")
+	}
+	if r.Controller() != nil {
+		t.Fatal("admit=none should mean a nil controller")
+	}
+}
+
+func TestControllerIsFreshPerCall(t *testing.T) {
+	// missratio carries feedback state, so Parse hands out a pointer — each
+	// run must get a distinct instance.
+	r, err := parseRobustness(t, "-admit", "missratio:0.5,0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Active() {
+		t.Fatal("missratio should be active")
+	}
+	a, b := r.Controller(), r.Controller()
+	if a == nil || b == nil {
+		t.Fatal("missratio produced a nil controller")
+	}
+	if a == b {
+		t.Fatal("controllers carry feedback state and must not be shared between runs")
+	}
+}
+
+func TestRobustnessLoadsValidPlan(t *testing.T) {
+	path := writePlan(t, `{"seed": 7, "abort_prob": 0.1, "max_restarts": 2}`)
+	r, err := parseRobustness(t, "-faults", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan() == nil {
+		t.Fatal("valid plan not retained")
+	}
+	if !r.Active() {
+		t.Fatal("a loaded plan should be active")
+	}
+}
+
+func TestAddSeedDefault(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	seed := AddSeed(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 1 {
+		t.Fatalf("default seed %d, want 1", *seed)
+	}
+	if err := fs.Parse([]string{"-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 99 {
+		t.Fatalf("parsed seed %d, want 99", *seed)
+	}
+}
+
+// TestFatalExitsTwo pins the flag-error convention: one line on stderr
+// naming the program, process exit status 2.
+func TestFatalExitsTwo(t *testing.T) {
+	var buf bytes.Buffer
+	var code int
+	oldExit, oldStderr := exit, stderr
+	exit = func(c int) { code = c }
+	stderr = &buf
+	defer func() { exit, stderr = oldExit, oldStderr }()
+
+	_, err := parseRobustness(t, "-admit", "bogus")
+	if err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+	Fatal("asetssim", err)
+	if code != 2 {
+		t.Fatalf("Fatal exited %d, want 2", code)
+	}
+	if !strings.HasPrefix(buf.String(), "asetssim: ") {
+		t.Fatalf("Fatal output %q should name the program", buf.String())
+	}
+}

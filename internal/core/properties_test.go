@@ -50,7 +50,7 @@ func TestTwoTransactionOptimality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := sim.Run(set, New(), sim.Options{})
+		sum, err := sim.New(sim.Config{}).Run(set, New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func TestTwoTransactionWeightedOptimality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := sim.Run(set, New(), sim.Options{})
+		sum, err := sim.New(sim.Config{}).Run(set, New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +161,7 @@ func TestRandomWorkloadsAllPoliciesValid(t *testing.T) {
 		for i, s := range mkPolicies() {
 			set := workload.MustGenerate(cfg)
 			rec := &trace.Recorder{}
-			sum, err := sim.Run(set, s, sim.Options{Recorder: rec})
+			sum, err := sim.New(sim.Config{Recorder: rec}).Run(set, s)
 			if err != nil {
 				t.Fatalf("seed %d policy %s: %v", seed, s.Name(), err)
 			}
@@ -201,7 +201,7 @@ func TestEDFFeasibilityOptimality(t *testing.T) {
 		someFeasible := false
 		for _, mk := range policies {
 			set := workload.MustGenerate(cfg)
-			sum, err := sim.Run(set, mk(), sim.Options{})
+			sum, err := sim.New(sim.Config{}).Run(set, mk())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -215,7 +215,7 @@ func TestEDFFeasibilityOptimality(t *testing.T) {
 		}
 		checked++
 		set := workload.MustGenerate(cfg)
-		sum, err := sim.Run(set, sched.NewEDF(), sim.Options{})
+		sum, err := sim.New(sim.Config{}).Run(set, sched.NewEDF())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,11 +238,11 @@ func TestQuickSingletonEquivalence(t *testing.T) {
 		cfg.N = 40
 		a := workload.MustGenerate(cfg)
 		b := workload.MustGenerate(cfg)
-		sa, err := sim.Run(a, New(), sim.Options{})
+		sa, err := sim.New(sim.Config{}).Run(a, New())
 		if err != nil {
 			return false
 		}
-		sb, err := sim.Run(b, NewReady(), sim.Options{})
+		sb, err := sim.New(sim.Config{}).Run(b, NewReady())
 		if err != nil {
 			return false
 		}

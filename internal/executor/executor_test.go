@@ -219,7 +219,7 @@ func TestLiveMatchesSimulatorExactly(t *testing.T) {
 
 func mustSim(t *testing.T, set *txn.Set) float64 {
 	t.Helper()
-	summary, err := sim.Run(set, sched.NewSRPT(), sim.Options{})
+	summary, err := sim.New(sim.Config{}).Run(set, sched.NewSRPT())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestFakeClockDeterministic(t *testing.T) {
 	}
 
 	setSim := workload.MustGenerate(replayConfig(33))
-	summary, err := sim.Run(setSim, core.New(), sim.Options{})
+	summary, err := sim.New(sim.Config{}).Run(setSim, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}

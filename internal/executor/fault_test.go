@@ -83,10 +83,10 @@ func TestFaultReplayDeterministic(t *testing.T) {
 // reproduces the simulator's fault counters, shed set and tardiness exactly.
 func TestFaultReplayMatchesSimulator(t *testing.T) {
 	setSim := workload.MustGenerate(faultConfig(41))
-	summary, err := sim.Run(setSim, core.New(), sim.Options{
+	summary, err := sim.New(sim.Config{
 		Faults: faultPlan(),
 		Admit:  admit.QueueCap{Max: 12},
-	})
+	}).Run(setSim, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}

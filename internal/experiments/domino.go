@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -29,32 +33,55 @@ func Domino(opts Options) (*Result, error) {
 		{Name: "ASETS*", New: func() sched.Scheduler { return core.New() }},
 	}
 
+	// One pool job per (utilization, policy, seed); each job computes its
+	// late-backlog share in the Post hook (the mutated set and recorder are
+	// only alive inside the worker) into a private slot, and the slots are
+	// folded in cell order so the means match the serial path bit-for-bit.
+	type cell struct{ xi, pi int }
+	var cells []cell
+	var jobs []runner.Job
+	shares := make([]float64, 0, len(xs)*len(policies)*len(opts.Seeds))
+	for xi, u := range xs {
+		for pi, p := range policies {
+			for _, seed := range opts.Seeds {
+				cfg := workload.Default(u, seed)
+				cfg.N = opts.N
+				rec := &trace.Recorder{}
+				slot := len(shares)
+				shares = append(shares, 0)
+				jobs = append(jobs, runner.Job{
+					Gen:    func(uint64) (*txn.Set, error) { return workload.Generate(cfg) },
+					New:    p.New,
+					Config: sim.Config{Recorder: rec},
+					Label:  fmt.Sprintf("util=%v policy=%s seed=%d", u, p.Name, seed),
+					Post: func(set *txn.Set, _ *metrics.Summary) error {
+						if opts.Validate {
+							if err := rec.Validate(set); err != nil {
+								return err
+							}
+						}
+						shares[slot] = analysis.MeanLateShare(analysis.BacklogSeries(set, rec, 200))
+						return nil
+					},
+				})
+				cells = append(cells, cell{xi: xi, pi: pi})
+			}
+		}
+	}
+	if _, err := (runner.Pool{Workers: opts.Parallelism}).Run(context.Background(), jobs); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
 	series := make([][]float64, len(policies))
 	for pi := range series {
 		series[pi] = make([]float64, len(xs))
 	}
-	for xi, u := range xs {
-		for pi, p := range policies {
-			var sum float64
-			for _, seed := range opts.Seeds {
-				cfg := workload.Default(u, seed)
-				cfg.N = opts.N
-				set, err := workload.Generate(cfg)
-				if err != nil {
-					return nil, err
-				}
-				rec := &trace.Recorder{}
-				if _, err := sim.Run(set, p.New(), sim.Options{Recorder: rec}); err != nil {
-					return nil, err
-				}
-				if opts.Validate {
-					if err := rec.Validate(set); err != nil {
-						return nil, err
-					}
-				}
-				sum += analysis.MeanLateShare(analysis.BacklogSeries(set, rec, 200))
-			}
-			series[pi][xi] = sum / float64(len(opts.Seeds))
+	for i, c := range cells {
+		series[c.pi][c.xi] += shares[i]
+	}
+	for pi := range series {
+		for xi := range series[pi] {
+			series[pi][xi] /= float64(len(opts.Seeds))
 		}
 	}
 

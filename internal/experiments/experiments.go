@@ -7,15 +7,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -26,7 +27,9 @@ type Options struct {
 	Seeds []uint64
 	// N overrides the number of transactions per workload (paper: 1000).
 	N int
-	// Parallelism bounds concurrent simulation workers; 0 means GOMAXPROCS.
+	// Parallelism bounds concurrent simulation workers (runner.Pool.Workers):
+	// 0 means GOMAXPROCS, 1 forces the serial legacy path. Results are
+	// bit-identical for every value (docs/PARALLELISM.md).
 	Parallelism int
 	// Validate enables per-run schedule validation via the trace package.
 	Validate bool
@@ -118,13 +121,19 @@ func newSweepResult(nPolicies, nX int) *sweepResult {
 	}
 }
 
-// sweep runs every (x, policy, seed) combination, in parallel, and
-// aggregates the summaries. makeCfg maps an x-value and seed to a workload
-// configuration; the same (x, seed) workload is regenerated per policy so
-// every policy schedules an identical transaction set. policiesAt returns
-// the policy list for a given x — most figures use a fixed list, while the
-// balance-aware sweeps vary the activation rate with x; the list length and
-// ordering must not change across x.
+// sweep runs every (x, policy, seed) combination through the parallel
+// experiment engine (internal/runner) and aggregates the summaries. makeCfg
+// maps an x-value and seed to a workload configuration; the same (x, seed)
+// workload is regenerated per policy so every policy schedules an identical
+// transaction set. policiesAt returns the policy list for a given x — most
+// figures use a fixed list, while the balance-aware sweeps vary the
+// activation rate with x; the list length and ordering must not change
+// across x.
+//
+// Summaries are gathered and aggregated in cell order, so the figure's
+// floating-point means are bit-identical for any Parallelism — the
+// determinism contract of docs/PARALLELISM.md, enforced by asetsbench
+// -parallel-bench in CI.
 func sweep(opts Options, xs []float64, policiesAt func(x float64) []Policy, makeCfg func(x float64, seed uint64) workload.Config) (*sweepResult, error) {
 	opts = opts.withDefaults()
 	policyGrid := make([][]Policy, len(xs))
@@ -147,81 +156,42 @@ func sweep(opts Options, xs []float64, policiesAt func(x float64) []Policy, make
 		}
 	}
 
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		work     = make(chan cell)
-	)
-	worker := func() {
-		defer wg.Done()
-		for c := range work {
-			policy := policyGrid[c.xi][c.pi]
-			summary, err := runOne(opts, makeCfg(xs[c.xi], opts.Seeds[c.si]), policy)
-			mu.Lock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: x=%v policy=%s seed=%d: %w",
-						xs[c.xi], policy.Name, opts.Seeds[c.si], err)
-				}
-			} else {
-				res.avgTardiness[c.pi][c.xi].Add(summary.AvgTardiness)
-				res.avgWeighted[c.pi][c.xi].Add(summary.AvgWeightedTardiness)
-				res.maxWeighted[c.pi][c.xi].Add(summary.MaxWeightedTardiness)
-				res.missRatio[c.pi][c.xi].Add(summary.MissRatio)
-				res.avgResponse[c.pi][c.xi].Add(summary.AvgResponseTime)
-				res.realizedUtil[c.pi][c.xi].Add(summary.Utilization)
-				res.maxTardiness[c.pi][c.xi].Add(summary.MaxTardiness)
-			}
-			mu.Unlock()
+	jobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		policy := policyGrid[c.xi][c.pi]
+		cfg := makeCfg(xs[c.xi], opts.Seeds[c.si])
+		cfg.N = opts.N
+		job := runner.Job{
+			// The cell's workload seed is baked into cfg; the pool's
+			// derived seed is unused.
+			Gen:   func(uint64) (*txn.Set, error) { return workload.Generate(cfg) },
+			New:   policy.New,
+			Label: fmt.Sprintf("x=%v policy=%s seed=%d", xs[c.xi], policy.Name, opts.Seeds[c.si]),
 		}
+		if opts.Validate {
+			rec := &trace.Recorder{}
+			job.Config.Recorder = rec
+			job.Post = func(set *txn.Set, _ *metrics.Summary) error {
+				return rec.Validate(set)
+			}
+		}
+		jobs[i] = job
 	}
-	workers := opts.Parallelism
-	if workers > len(cells) {
-		workers = len(cells)
+	summaries, err := runner.Pool{Workers: opts.Parallelism}.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go worker()
-	}
-	for _, c := range cells {
-		work <- c
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, c := range cells {
+		summary := summaries[i]
+		res.avgTardiness[c.pi][c.xi].Add(summary.AvgTardiness)
+		res.avgWeighted[c.pi][c.xi].Add(summary.AvgWeightedTardiness)
+		res.maxWeighted[c.pi][c.xi].Add(summary.MaxWeightedTardiness)
+		res.missRatio[c.pi][c.xi].Add(summary.MissRatio)
+		res.avgResponse[c.pi][c.xi].Add(summary.AvgResponseTime)
+		res.realizedUtil[c.pi][c.xi].Add(summary.Utilization)
+		res.maxTardiness[c.pi][c.xi].Add(summary.MaxTardiness)
 	}
 	return res, nil
-}
-
-// runOne generates the workload, simulates it under the policy, and — when
-// validation is on — checks the schedule invariants.
-func runOne(opts Options, cfg workload.Config, policy Policy) (*metrics.Summary, error) {
-	cfg.N = opts.N
-	set, err := workload.Generate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var rec *trace.Recorder
-	simOpts := sim.Options{}
-	if opts.Validate {
-		rec = &trace.Recorder{}
-		simOpts.Recorder = rec
-	}
-	summary, err := sim.Run(set, policy.New(), simOpts)
-	if err != nil {
-		return nil, err
-	}
-	if rec != nil {
-		if err := rec.Validate(set); err != nil {
-			return nil, err
-		}
-	}
-	return summary, nil
 }
 
 // means extracts the per-x means (and 95% CIs) of one metric row.

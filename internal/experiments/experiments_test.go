@@ -306,7 +306,7 @@ func TestASETSSignificantlyBeatsStaticsAtCrossover(t *testing.T) {
 		cfg.N = 400
 		run := func(p Policy) float64 {
 			set := workload.MustGenerate(cfg)
-			sum, err := sim.Run(set, p.New(), sim.Options{})
+			sum, err := sim.New(sim.Config{}).Run(set, p.New())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -51,7 +51,7 @@ func Sessions(opts Options) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.RunClosedLoop(set, sessions, p.New(), patience)
+				res, err := sim.New(sim.Config{Patience: patience}).RunClosedLoop(set, sessions, p.New())
 				if err != nil {
 					return nil, err
 				}

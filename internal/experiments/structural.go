@@ -53,7 +53,7 @@ func Structural(opts Options) (*Result, error) {
 				func() sched.Scheduler { return core.NewReady() },
 				func() sched.Scheduler { return core.New() },
 			} {
-				sum, err := sim.Run(set, mk(), sim.Options{})
+				sum, err := sim.New(sim.Config{}).Run(set, mk())
 				if err != nil {
 					return nil, err
 				}

@@ -108,7 +108,7 @@ func DependentBreakdown(opts Options) (*Result, error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				if _, err := sim.Run(set, mk(), sim.Options{}); err != nil {
+				if _, err := sim.New(sim.Config{}).Run(set, mk()); err != nil {
 					return nil, nil, err
 				}
 				for _, t := range set.Txns {

@@ -125,7 +125,7 @@ func Suite() []*Analyzer {
 	nd.Include = []string{
 		"internal/sim", "internal/core", "internal/sched",
 		"internal/workload", "internal/experiments", "internal/obs",
-		"internal/fault", "internal/admit",
+		"internal/fault", "internal/admit", "internal/runner",
 	}
 	mr := MapRange()
 	mr.Include = []string{

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHistogramMergeEqualsSerialFeed: h.Merge(other) must leave h exactly as
+// if it had observed other's stream after its own — counts, zero bucket,
+// sum, max and every geometric bucket.
+func TestHistogramMergeEqualsSerialFeed(t *testing.T) {
+	a, b, want := NewHistogram(2), NewHistogram(2), NewHistogram(2)
+	for _, v := range []float64{0, 0.5, 1, 2.5, 7, 300} {
+		a.Add(v)
+		want.Add(v)
+	}
+	for _, v := range []float64{0, 4, 9000, 0.1} {
+		b.Add(v)
+		want.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != want.N() || a.Sum() != want.Sum() || a.Max() != want.Max() {
+		t.Fatalf("merged N/Sum/Max = %d/%v/%v, want %d/%v/%v",
+			a.N(), a.Sum(), a.Max(), want.N(), want.Sum(), want.Max())
+	}
+	if !reflect.DeepEqual(a.Buckets(), want.Buckets()) {
+		t.Fatalf("merged buckets differ:\ngot  %+v\nwant %+v", a.Buckets(), want.Buckets())
+	}
+}
+
+// TestHistogramMergeGrowsBuckets: merging a histogram with more buckets than
+// the destination extends the destination.
+func TestHistogramMergeGrowsBuckets(t *testing.T) {
+	a, b := NewHistogram(2), NewHistogram(2)
+	a.Add(1)
+	b.Add(1 << 20)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 2 || a.Max() != 1<<20 {
+		t.Fatalf("after growth merge: N=%d Max=%v", a.N(), a.Max())
+	}
+}
+
+// TestHistogramMergeLeavesSourceUntouched: Merge reads but never writes the
+// other histogram.
+func TestHistogramMergeLeavesSourceUntouched(t *testing.T) {
+	a, b := NewHistogram(2), NewHistogram(2)
+	a.Add(3)
+	b.Add(5)
+	before := b.Buckets()
+	n, sum := b.N(), b.Sum()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != n || b.Sum() != sum || !reflect.DeepEqual(b.Buckets(), before) {
+		t.Fatal("Merge mutated its argument")
+	}
+}
+
+func TestHistogramMergeBaseMismatch(t *testing.T) {
+	a, b := NewHistogram(2), NewHistogram(10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bases should error")
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import "fmt"
+
+// Merge folds every metric of src into r: counters add, gauges take src's
+// value (so merging run registries in job order leaves the last run's gauge,
+// mirroring what a serial run over the same jobs would have left), and
+// histograms merge bucket-by-bucket via metrics.Histogram.Merge. Metrics
+// absent from r are created with src's help text (and, for histograms, src's
+// bucket base).
+//
+// Merge is the aggregation step of the parallel experiment engine
+// (docs/PARALLELISM.md): each run writes to a private registry, and the
+// harness merges them in job order afterwards, which keeps the merged
+// counters, bucket counts and histogram sums bit-identical to a serial run.
+// src must be quiescent — merging a registry that is still being written
+// concurrently would interleave half-updated histograms. r and src must be
+// distinct registries.
+//
+// It returns an error when a name is registered with different metric types
+// (or histogram bases) in the two registries.
+func (r *Registry) Merge(src *Registry) error {
+	if src == nil {
+		return nil
+	}
+	if src == r {
+		return fmt.Errorf("obs: cannot merge a registry into itself")
+	}
+	// Snapshot src's handle tables under its lock; the handles themselves
+	// are updated atomically (counters, gauges) or under their own mutex
+	// (histograms), so reading their values afterwards is safe.
+	src.mu.Lock()
+	names := make([]string, len(src.names))
+	copy(names, src.names)
+	counters := make(map[string]*Counter, len(src.counters))
+	//lint:ignore maprange map-to-map handle copy; the merge itself walks names in registration order
+	for n, c := range src.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(src.gauges))
+	//lint:ignore maprange map-to-map handle copy; order-independent
+	for n, g := range src.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	//lint:ignore maprange map-to-map handle copy; order-independent
+	for n, h := range src.hists {
+		hists[n] = h
+	}
+	help := make(map[string]string, len(src.help))
+	//lint:ignore maprange map-to-map handle copy; order-independent
+	for n, h := range src.help {
+		help[n] = h
+	}
+	src.mu.Unlock()
+
+	// names preserves src's registration order, which makes the merge — and
+	// therefore any type-conflict error — deterministic.
+	for _, name := range names {
+		switch {
+		case counters[name] != nil:
+			r.mu.Lock()
+			_, g := r.gauges[name]
+			_, h := r.hists[name]
+			r.mu.Unlock()
+			if g || h {
+				return fmt.Errorf("obs: merge: %q is a counter in the source but not in the destination", name)
+			}
+			r.Counter(name, help[name]).Add(counters[name].Value())
+		case gauges[name] != nil:
+			r.mu.Lock()
+			_, c := r.counters[name]
+			_, h := r.hists[name]
+			r.mu.Unlock()
+			if c || h {
+				return fmt.Errorf("obs: merge: %q is a gauge in the source but not in the destination", name)
+			}
+			r.Gauge(name, help[name]).Set(gauges[name].Value())
+		case hists[name] != nil:
+			r.mu.Lock()
+			_, c := r.counters[name]
+			_, g := r.gauges[name]
+			r.mu.Unlock()
+			if c || g {
+				return fmt.Errorf("obs: merge: %q is a histogram in the source but not in the destination", name)
+			}
+			sh := hists[name]
+			sh.mu.Lock()
+			base := sh.h.Base()
+			dh := r.Histogram(name, help[name], base)
+			if dh == sh {
+				sh.mu.Unlock()
+				return fmt.Errorf("obs: merge: histogram %q is shared between source and destination", name)
+			}
+			dh.mu.Lock()
+			err := dh.h.Merge(sh.h)
+			dh.mu.Unlock()
+			sh.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("obs: merge %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -96,7 +96,7 @@ func TestSimulatorMatchesPollaczekKhinchine(t *testing.T) {
 			cfg := workload.Default(rho, seed)
 			cfg.N = 60000
 			set := workload.MustGenerate(cfg)
-			sum, err := sim.Run(set, sched.NewFCFS(), sim.Options{})
+			sum, err := sim.New(sim.Config{}).Run(set, sched.NewFCFS())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +123,7 @@ func TestSimulatorUtilizationMatchesRho(t *testing.T) {
 	cfg := workload.Default(0.6, 9)
 	cfg.N = 40000
 	set := workload.MustGenerate(cfg)
-	sum, err := sim.Run(set, sched.NewFCFS(), sim.Options{})
+	sum, err := sim.New(sim.Config{}).Run(set, sched.NewFCFS())
 	if err != nil {
 		t.Fatal(err)
 	}

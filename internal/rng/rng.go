@@ -34,6 +34,16 @@ func (s *SplitMix64) Next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive maps (base, run) to the run-th element of the splitmix64 stream
+// seeded with base: mix(base + (run+1)*gamma). Parallel harnesses use it to
+// assign every run of a sweep an independent, well-mixed seed as a pure
+// function of the run's index — the assignment happens at job-construction
+// time and never depends on goroutine scheduling, which is the first half of
+// the determinism contract in docs/PARALLELISM.md.
+func Derive(base, run uint64) uint64 {
+	return NewSplitMix64(base + run*0x9e3779b97f4a7c15).Next()
+}
+
 // Source is a deterministic uniform pseudo-random source based on the
 // xoshiro256** algorithm by Blackman and Vigna. It is not safe for
 // concurrent use; derive one Source per goroutine via Split.

@@ -29,17 +29,38 @@ type ClosedLoopResult struct {
 //
 // The set's Arrival fields are ignored as absolute times; each
 // transaction's Deadline must be stored RELATIVE to its page request (the
-// closed-loop generator in the workload package does this). patience is the
-// page-level abandonment bound: a page whose render latency exceeds
-// patience counts as abandoned (the session still continues — the paper's
+// closed-loop generator in the workload package does this). Config.Patience
+// is the page-level abandonment bound: a page whose render latency exceeds
+// it counts as abandoned (the session still continues — the paper's
 // lost-revenue framing needs the rate, and cancelling in-flight work would
 // change the offered load mid-run).
-func RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler, patience float64) (*ClosedLoopResult, error) {
+//
+// The closed-loop model is single-server and fault-free: a Config carrying
+// Servers > 1, Faults, Admit or a Recorder is rejected. Sink and Metrics
+// work as in Run — the decision loop is instrumented at the scheduler
+// boundary.
+func (e *Sim) RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler) (*ClosedLoopResult, error) {
+	cfg := e.cfg
+	patience := cfg.Patience
+	servers, err := cfg.servers()
+	if err != nil {
+		return nil, err
+	}
+	if servers != 1 {
+		return nil, fmt.Errorf("sim: closed loop supports a single server, not %d", servers)
+	}
+	if cfg.Faults != nil || cfg.Admit != nil {
+		return nil, fmt.Errorf("sim: closed loop does not support fault injection or admission control")
+	}
+	if cfg.Recorder != nil {
+		return nil, fmt.Errorf("sim: closed loop does not record execution slices")
+	}
 	n := set.Len()
 	if err := validateSessions(set, sessions); err != nil {
 		return nil, err
 	}
 	set.ResetAll()
+	s = sched.Instrument(s, cfg.Sink, cfg.Metrics)
 	s.Init(set)
 
 	// Arrival and Deadline are rewritten from relative to absolute as pages
@@ -193,6 +214,14 @@ func RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler, pati
 		res.AbandonRate = float64(abandoned) / float64(pages)
 	}
 	return res, nil
+}
+
+// RunClosedLoop simulates sessions under s with the given page-abandonment
+// bound.
+//
+// Deprecated: use New(Config{Patience: patience}).RunClosedLoop.
+func RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler, patience float64) (*ClosedLoopResult, error) {
+	return New(Config{Patience: patience}).RunClosedLoop(set, sessions, s)
 }
 
 // validateSessions checks that the sessions partition the transaction set.

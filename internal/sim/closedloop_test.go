@@ -29,7 +29,7 @@ func tinySessions(t *testing.T) (*txn.Set, []txn.Session) {
 
 func TestClosedLoopTiming(t *testing.T) {
 	set, sessions := tinySessions(t)
-	res, err := RunClosedLoop(set, sessions, sched.NewFCFS(), 0)
+	res, err := New(Config{Patience: 0}).RunClosedLoop(set, sessions, sched.NewFCFS())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestClosedLoopRelativeDeadlines(t *testing.T) {
 		t.Fatal(err)
 	}
 	sessions := []txn.Session{{Pages: [][]txn.ID{{0}, {1}}, ThinkTimes: []float64{0, 0}}}
-	res, err := RunClosedLoop(set, sessions, sched.NewFCFS(), 0)
+	res, err := New(Config{Patience: 0}).RunClosedLoop(set, sessions, sched.NewFCFS())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestClosedLoopRelativeDeadlines(t *testing.T) {
 
 func TestClosedLoopAbandonment(t *testing.T) {
 	set, sessions := tinySessions(t)
-	res, err := RunClosedLoop(set, sessions, sched.NewFCFS(), 3) // patience 3
+	res, err := New(Config{Patience: 3}).RunClosedLoop(set, sessions, sched.NewFCFS()) // patience 3
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,15 +88,15 @@ func TestClosedLoopAbandonment(t *testing.T) {
 func TestClosedLoopValidation(t *testing.T) {
 	set, sessions := tinySessions(t)
 	bad := []txn.Session{{Pages: [][]txn.ID{{0}}, ThinkTimes: []float64{1}}} // misses txn 1
-	if _, err := RunClosedLoop(set, bad, sched.NewFCFS(), 0); err == nil || !strings.Contains(err.Error(), "cover") {
+	if _, err := New(Config{Patience: 0}).RunClosedLoop(set, bad, sched.NewFCFS()); err == nil || !strings.Contains(err.Error(), "cover") {
 		t.Fatalf("err = %v", err)
 	}
 	dup := []txn.Session{{Pages: [][]txn.ID{{0}, {0, 1}}, ThinkTimes: []float64{1, 1}}}
-	if _, err := RunClosedLoop(set, dup, sched.NewFCFS(), 0); err == nil || !strings.Contains(err.Error(), "two pages") {
+	if _, err := New(Config{Patience: 0}).RunClosedLoop(set, dup, sched.NewFCFS()); err == nil || !strings.Contains(err.Error(), "two pages") {
 		t.Fatalf("err = %v", err)
 	}
 	short := []txn.Session{{Pages: [][]txn.ID{{0}, {1}}, ThinkTimes: []float64{1}}}
-	if _, err := RunClosedLoop(set, short, sched.NewFCFS(), 0); err == nil || !strings.Contains(err.Error(), "think times") {
+	if _, err := New(Config{Patience: 0}).RunClosedLoop(set, short, sched.NewFCFS()); err == nil || !strings.Contains(err.Error(), "think times") {
 		t.Fatalf("err = %v", err)
 	}
 	_ = sessions
@@ -109,7 +109,7 @@ func TestClosedLoopGeneratedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, policy := range []sched.Scheduler{sched.NewEDF(), sched.NewSRPT(), core.New()} {
-		res, err := RunClosedLoop(set, sessions, policy, 0)
+		res, err := New(Config{Patience: 0}).RunClosedLoop(set, sessions, policy)
 		if err != nil {
 			t.Fatalf("%s: %v", policy.Name(), err)
 		}
@@ -139,7 +139,7 @@ func TestClosedLoopReplayDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() float64 {
-		res, err := RunClosedLoop(set, sessions, core.New(), 0)
+		res, err := New(Config{Patience: 0}).RunClosedLoop(set, sessions, core.New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestClosedLoopMoreUsersMoreLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunClosedLoop(set, sessions, core.New(), 0)
+		res, err := New(Config{Patience: 0}).RunClosedLoop(set, sessions, core.New())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestDeprecatedWrappersMatchConfigAPI pins the compatibility contract of the
+// deprecated package-level entry points: Run, MustRun and RunClosedLoop must
+// produce results identical to the sim.New(Config).Run path they delegate to,
+// so callers can migrate in either direction without behavior drift.
+func TestDeprecatedWrappersMatchConfigAPI(t *testing.T) {
+	cfg := workload.Default(0.9, 7)
+	cfg.N = 200
+
+	oldSum, err := Run(workload.MustGenerate(cfg), sched.NewEDF(), Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSum, err := New(Config{Servers: 2}).Run(workload.MustGenerate(cfg), sched.NewEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldSum, newSum) {
+		t.Fatalf("deprecated Run diverged from New(Config).Run:\nold %+v\nnew %+v", oldSum, newSum)
+	}
+
+	mustSum := MustRun(workload.MustGenerate(cfg), sched.NewEDF(), Options{Servers: 2})
+	if !reflect.DeepEqual(mustSum, newSum) {
+		t.Fatalf("deprecated MustRun diverged from New(Config).Run:\nold %+v\nnew %+v", mustSum, newSum)
+	}
+}
+
+func TestDeprecatedRunClosedLoopMatchesConfigAPI(t *testing.T) {
+	gen := func() (*ClosedLoopResult, *ClosedLoopResult) {
+		scfg := workload.DefaultSessions(8, 0.8, 11)
+		set1, sessions1, err := workload.GenerateSessions(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set2, sessions2, err := workload.GenerateSessions(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const patience = 25
+		oldRes, err := RunClosedLoop(set1, sessions1, sched.NewSRPT(), patience)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err := New(Config{Patience: patience}).RunClosedLoop(set2, sessions2, sched.NewSRPT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return oldRes, newRes
+	}
+	oldRes, newRes := gen()
+	if !reflect.DeepEqual(oldRes, newRes) {
+		t.Fatalf("deprecated RunClosedLoop diverged from New(Config).RunClosedLoop:\nold %+v\nnew %+v", oldRes, newRes)
+	}
+}
+
+// TestServersValidatedBeforeDefaulting is the regression test for the bug
+// where Run validated opts.Servers only after the zero value had been
+// defaulted to one, so a negative count silently ran on a single server.
+func TestServersValidatedBeforeDefaulting(t *testing.T) {
+	cfg := workload.Default(0.5, 1)
+	cfg.N = 10
+
+	if _, err := New(Config{Servers: -1}).Run(workload.MustGenerate(cfg), sched.NewFCFS()); err == nil {
+		t.Fatal("Servers: -1 accepted; want validation error")
+	}
+	if _, err := Run(workload.MustGenerate(cfg), sched.NewFCFS(), Options{Servers: -3}); err == nil {
+		t.Fatal("deprecated Run accepted Servers: -3; want validation error")
+	}
+
+	// The zero value still means one server.
+	one, err := New(Config{Servers: 1}).Run(workload.MustGenerate(cfg), sched.NewFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := New(Config{}).Run(workload.MustGenerate(cfg), sched.NewFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, zero) {
+		t.Fatalf("Servers: 0 should default to one server:\nzero %+v\none  %+v", zero, one)
+	}
+}

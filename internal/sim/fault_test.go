@@ -48,7 +48,7 @@ func TestZeroPlanBitIdentical(t *testing.T) {
 		if !zero.Zero() {
 			t.Fatal("test plan is not zero")
 		}
-		if _, err := Run(set, p, Options{Recorder: rec, Faults: zero, Admit: admit.Unconditional{}}); err != nil {
+		if _, err := New(Config{Recorder: rec, Faults: zero, Admit: admit.Unconditional{}}).Run(set, p); err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
 		if got, want := scheduleDigest(rec), goldenDigests[p.Name()]; got != want {
@@ -65,11 +65,11 @@ func faultStream(t *testing.T, s sched.Scheduler) ([]byte, *metricsSummary) {
 	cfg.N = 150
 	set := workload.MustGenerate(cfg)
 	var buf bytes.Buffer
-	sum, err := Run(set, s, Options{
+	sum, err := New(Config{
 		Sink:   obs.NewJSONLWriter(&buf),
 		Faults: hammerPlan(),
 		Admit:  admit.QueueCap{Max: 12},
-	})
+	}).Run(set, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestFaultScheduleIdenticalAcrossPolicies(t *testing.T) {
 	var wantAborts, wantRestarts = -1, -1
 	for _, p := range goldenPolicies() {
 		set := workload.MustGenerate(cfg)
-		sum, err := Run(set, p, Options{Faults: plan})
+		sum, err := New(Config{Faults: plan}).Run(set, p)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -133,11 +133,11 @@ func TestFaultScheduleIdenticalAcrossPolicies(t *testing.T) {
 func TestSheddingImprovesOverload(t *testing.T) {
 	cfg := workload.Default(1.5, 0xD00D).WithWeights()
 	cfg.N = 200
-	open, err := Run(workload.MustGenerate(cfg), core.New(), Options{})
+	open, err := New(Config{}).Run(workload.MustGenerate(cfg), core.New())
 	if err != nil {
 		t.Fatal(err)
 	}
-	gated, err := Run(workload.MustGenerate(cfg), core.New(), Options{Admit: admit.Feasibility{}})
+	gated, err := New(Config{Admit: admit.Feasibility{}}).Run(workload.MustGenerate(cfg), core.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func singleTxnSet(t *testing.T) *txn.Set {
 // makes busy time 14 and the finish 16, with exactly one abort and no
 // backoff restart (crash loss re-queues immediately).
 func TestStallExtendsMakespan(t *testing.T) {
-	base, err := Run(singleTxnSet(t), sched.NewEDF(), Options{})
+	base, err := New(Config{}).Run(singleTxnSet(t), sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,9 +181,9 @@ func TestStallExtendsMakespan(t *testing.T) {
 		t.Fatalf("fault-free baseline: makespan %v busy %v, want 10/10", base.Makespan, base.BusyTime)
 	}
 
-	stalled, err := Run(singleTxnSet(t), sched.NewEDF(), Options{
+	stalled, err := New(Config{
 		Faults: &fault.Plan{Stalls: []fault.Window{{Start: 4, Duration: 2}}},
-	})
+	}).Run(singleTxnSet(t), sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,9 +197,9 @@ func TestStallExtendsMakespan(t *testing.T) {
 		t.Fatalf("a pure stall must preserve progress: busy %v, want 10", stalled.BusyTime)
 	}
 
-	crashed, err := Run(singleTxnSet(t), sched.NewEDF(), Options{
+	crashed, err := New(Config{
 		Faults: &fault.Plan{Stalls: []fault.Window{{Start: 4, Duration: 2, Kind: fault.Crash}}},
-	})
+	}).Run(singleTxnSet(t), sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,14 +221,14 @@ func TestStallExtendsMakespan(t *testing.T) {
 func TestBurstCompressesArrivals(t *testing.T) {
 	cfg := workload.Default(0.8, 0x1234)
 	cfg.N = 100
-	base, err := Run(workload.MustGenerate(cfg), sched.NewEDF(), Options{})
+	base, err := New(Config{}).Run(workload.MustGenerate(cfg), sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
 	set := workload.MustGenerate(cfg)
-	burst, err := Run(set, sched.NewEDF(), Options{
+	burst, err := New(Config{
 		Faults: &fault.Plan{Bursts: []fault.Burst{{At: 0, Width: base.Makespan}}},
-	})
+	}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,9 +251,9 @@ func TestBurstCompressesArrivals(t *testing.T) {
 func TestInvalidPlanRejected(t *testing.T) {
 	cfg := workload.Default(0.5, 1)
 	cfg.N = 10
-	_, err := Run(workload.MustGenerate(cfg), sched.NewFCFS(), Options{
+	_, err := New(Config{
 		Faults: &fault.Plan{AbortProb: 2},
-	})
+	}).Run(workload.MustGenerate(cfg), sched.NewFCFS())
 	if err == nil {
 		t.Fatal("invalid plan accepted")
 	}

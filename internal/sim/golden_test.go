@@ -61,7 +61,7 @@ func TestGoldenSchedules(t *testing.T) {
 	for _, p := range policies {
 		set := workload.MustGenerate(cfg)
 		rec := &trace.Recorder{}
-		if _, err := Run(set, p, Options{Recorder: rec}); err != nil {
+		if _, err := New(Config{Recorder: rec}).Run(set, p); err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
 		got := scheduleDigest(rec)

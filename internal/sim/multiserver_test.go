@@ -14,7 +14,7 @@ func TestTwoServersRunConcurrently(t *testing.T) {
 	// Two equal transactions at t=0 on two servers finish together at 5.
 	set := mustSet(t, mk(0, 0, 100, 5), mk(1, 0, 100, 5))
 	rec := &trace.Recorder{}
-	sum, err := Run(set, sched.NewSRPT(), Options{Servers: 2, Recorder: rec})
+	sum, err := New(Config{Servers: 2, Recorder: rec}).Run(set, sched.NewSRPT())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,17 +35,17 @@ func TestTwoServersRunConcurrently(t *testing.T) {
 
 func TestServersDefaultAndInvalid(t *testing.T) {
 	set := mustSet(t, mk(0, 0, 10, 1))
-	if _, err := Run(set, sched.NewFCFS(), Options{Servers: -1}); err == nil {
+	if _, err := New(Config{Servers: -1}).Run(set, sched.NewFCFS()); err == nil {
 		t.Fatal("negative servers accepted")
 	}
-	if _, err := Run(set, sched.NewFCFS(), Options{}); err != nil {
+	if _, err := New(Config{}).Run(set, sched.NewFCFS()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMoreServersThanWork(t *testing.T) {
 	set := mustSet(t, mk(0, 0, 10, 2), mk(1, 0, 10, 3))
-	sum, err := Run(set, sched.NewEDF(), Options{Servers: 8})
+	sum, err := New(Config{Servers: 8}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestMultiServerPrecedence(t *testing.T) {
 	// A chain cannot parallelize: T1 waits for T0 even with free servers.
 	set := mustSet(t, mk(0, 0, 10, 4), mk(1, 0, 20, 2, 0))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, core.New(), Options{Servers: 4, Recorder: rec}); err != nil {
+	if _, err := New(Config{Servers: 4, Recorder: rec}).Run(set, core.New()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(1).FinishTime != 6 {
@@ -80,7 +80,7 @@ func TestMultiServerNoDuplicateDispatch(t *testing.T) {
 	cfg.Order = workload.OrderRandom
 	set := workload.MustGenerate(cfg)
 	rec := &trace.Recorder{}
-	if _, err := Run(set, core.New(), Options{Servers: 3, Recorder: rec}); err != nil {
+	if _, err := New(Config{Servers: 3, Recorder: rec}).Run(set, core.New()); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.ValidateN(set, 3); err != nil {
@@ -98,7 +98,7 @@ func TestMultiServerAllPoliciesValid(t *testing.T) {
 	for _, p := range policies {
 		set := workload.MustGenerate(cfg)
 		rec := &trace.Recorder{}
-		sum, err := Run(set, p, Options{Servers: 3, Recorder: rec})
+		sum, err := New(Config{Servers: 3, Recorder: rec}).Run(set, p)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -115,8 +115,8 @@ func TestMultiServerReducesTardiness(t *testing.T) {
 	// Same offered work, more servers: tardiness must drop sharply.
 	cfg := workload.Default(0.9, 13)
 	cfg.N = 500
-	one := MustRun(workload.MustGenerate(cfg), core.New(), Options{Servers: 1})
-	two := MustRun(workload.MustGenerate(cfg), core.New(), Options{Servers: 2})
+	one := New(Config{Servers: 1}).MustRun(workload.MustGenerate(cfg), core.New())
+	two := New(Config{Servers: 2}).MustRun(workload.MustGenerate(cfg), core.New())
 	if two.AvgTardiness >= one.AvgTardiness {
 		t.Fatalf("2 servers (%v) not better than 1 (%v)", two.AvgTardiness, one.AvgTardiness)
 	}

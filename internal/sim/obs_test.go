@@ -28,7 +28,7 @@ func TestEventStreamDeterministic(t *testing.T) {
 		set := workload.MustGenerate(*cfg)
 		var buf bytes.Buffer
 		jw := obs.NewJSONLWriter(&buf)
-		if _, err := Run(set, core.New(), Options{Sink: jw}); err != nil {
+		if _, err := New(Config{Sink: jw}).Run(set, core.New()); err != nil {
 			t.Fatal(err)
 		}
 		if err := jw.Flush(); err != nil {
@@ -52,7 +52,7 @@ func TestMetricsAgreeWithSummary(t *testing.T) {
 	set := workload.MustGenerate(*cfg)
 	reg := obs.NewRegistry()
 	col := &obs.Collector{}
-	summary, err := Run(set, core.New(), Options{Sink: col, Metrics: reg})
+	summary, err := New(Config{Sink: col, Metrics: reg}).Run(set, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestModeSwitchEventsReachSink(t *testing.T) {
 	set := workload.MustGenerate(cfg)
 	col := &obs.Collector{}
 	reg := obs.NewRegistry()
-	if _, err := Run(set, core.New(), Options{Sink: col, Metrics: reg}); err != nil {
+	if _, err := New(Config{Sink: col, Metrics: reg}).Run(set, core.New()); err != nil {
 		t.Fatal(err)
 	}
 	var switches uint64
@@ -148,7 +148,7 @@ func TestAgingEventsEmitted(t *testing.T) {
 	set := workload.MustGenerate(cfg)
 	col := &obs.Collector{}
 	s := core.New(core.WithTimeActivation(0.05))
-	if _, err := Run(set, s, Options{Sink: col}); err != nil {
+	if _, err := New(Config{Sink: col}).Run(set, s); err != nil {
 		t.Fatal(err)
 	}
 	aging := 0
@@ -171,11 +171,11 @@ func TestInstrumentedRunMatchesBare(t *testing.T) {
 	cfg := obsWorkload(t)
 	set1 := workload.MustGenerate(*cfg)
 	set2 := workload.MustGenerate(*cfg)
-	bare, err := Run(set1, core.New(), Options{})
+	bare, err := New(Config{}).Run(set1, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := Run(set2, core.New(), Options{Sink: &obs.Collector{}, Metrics: obs.NewRegistry()})
+	inst, err := New(Config{Sink: &obs.Collector{}, Metrics: obs.NewRegistry()}).Run(set2, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,10 +7,19 @@
 // two event types ASETS* needs — transaction arrival and transaction
 // completion — and the chosen transactions run until the next such event.
 //
+// The entry point is one configuration type and one constructor:
+//
+//	summary, err := sim.New(sim.Config{Servers: 2}).Run(set, scheduler)
+//
+// The same Sim also drives closed-loop session workloads
+// (Sim.RunClosedLoop), so every run mode shares one validated
+// configuration. The former free functions Run, MustRun and RunClosedLoop
+// remain as thin deprecated wrappers.
+//
 // Two optional layers extend the paper's fault-free model (see
-// docs/ROBUSTNESS.md): a deterministic fault injector (Options.Faults)
+// docs/ROBUSTNESS.md): a deterministic fault injector (Config.Faults)
 // contributes abort/restart, backend stall/crash and flash-crowd events, and
-// an admission controller (Options.Admit) may shed arrivals before they
+// an admission controller (Config.Admit) may shed arrivals before they
 // reach the scheduler. Both are driven purely by simulated time and seeded
 // draws, so a fixed seed replays bit-identically; with neither configured
 // the event loop is byte-for-byte the paper's original model.
@@ -30,14 +39,16 @@ import (
 	"repro/internal/txn"
 )
 
-// Options configures one simulation run.
-type Options struct {
+// Config configures a Sim. The zero value is a valid single-server,
+// uninstrumented, fault-free run.
+type Config struct {
 	// Recorder, when non-nil, receives every execution slice for later
-	// validation or visualization.
+	// validation or visualization (open-loop runs only).
 	Recorder *trace.Recorder
 	// Servers is the number of identical backend servers (default 1, the
 	// paper's model). With S servers the scheduler's S highest-priority
 	// transactions run concurrently under global preemptive scheduling.
+	// Closed-loop runs support a single server only.
 	Servers int
 	// MaxSteps bounds the number of scheduling decisions as a safety net
 	// against a buggy scheduler that spins without progress. Zero selects a
@@ -51,18 +62,61 @@ type Options struct {
 	// stamped with simulated time. Nil disables event emission entirely.
 	Sink obs.Sink
 	// Metrics, when non-nil, accumulates the run's counters and histograms
-	// (see docs/OBSERVABILITY.md for the metric taxonomy).
+	// (see docs/OBSERVABILITY.md for the metric taxonomy). Concurrent runs
+	// must each use a private registry and merge afterwards with
+	// obs.Registry.Merge (docs/PARALLELISM.md).
 	Metrics *obs.Registry
 	// Faults, when non-nil, is the validated fault plan the run executes: a
 	// fresh fault.Injector is built per run, so the same plan subjects
 	// every policy to the identical fault schedule. The plan's flash-crowd
 	// bursts mutate the set's arrival times in place (idempotently).
+	// Open-loop runs only.
 	Faults *fault.Plan
 	// Admit, when non-nil, is consulted on every arrival; rejected
 	// transactions are marked Shed, never reach the scheduler, and are
 	// excluded from the summary's tardiness aggregates. Feedback
-	// controllers carry state — build a fresh one per run.
+	// controllers carry state — build a fresh one per run. Open-loop runs
+	// only.
 	Admit admit.Controller
+	// Patience is the closed-loop page-abandonment bound: a page whose
+	// render latency exceeds it counts as abandoned (0 disables the
+	// bound). Only RunClosedLoop consults it.
+	Patience float64
+}
+
+// Options is the former name of Config.
+//
+// Deprecated: use Config with New.
+type Options = Config
+
+// servers validates and defaults the server count. The validation runs on
+// the raw configured value, before defaulting, so Servers: -1 is rejected on
+// the same path for every run mode (a regression here once let negative
+// counts reach the event loop only because zero happened to default first).
+func (c Config) servers() (int, error) {
+	if c.Servers < 0 {
+		return 0, fmt.Errorf("sim: servers %d must be positive", c.Servers)
+	}
+	if c.Servers == 0 {
+		return 1, nil
+	}
+	return c.Servers, nil
+}
+
+// Sim is a reusable simulation engine bound to one Config. It holds no
+// per-run state: the same Sim may execute many workloads sequentially, and
+// distinct Sims run concurrently as long as they do not share a Config's
+// Recorder, Sink or Metrics (see docs/PARALLELISM.md for the isolation
+// contract the parallel runner enforces).
+type Sim struct {
+	cfg Config
+}
+
+// New returns a Sim bound to cfg. Configuration errors (negative server
+// counts, invalid fault plans) surface on the first Run, where they can be
+// reported per workload.
+func New(cfg Config) *Sim {
+	return &Sim{cfg: cfg}
 }
 
 // completionEpsilon absorbs float64 error when a slice boundary lands
@@ -80,24 +134,22 @@ const completionEpsilon = 1e-9
 // one exception: it stays checked out while it waits out its backoff and is
 // returned through OnPreempt (with its remaining time reset) when the
 // backoff expires.
-func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error) {
+func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
+	cfg := e.cfg
 	n := set.Len()
-	servers := opts.Servers
-	if servers == 0 {
-		servers = 1
-	}
-	if servers < 1 {
-		return nil, fmt.Errorf("sim: servers %d must be positive", opts.Servers)
+	servers, err := cfg.servers()
+	if err != nil {
+		return nil, err
 	}
 	var inj *fault.Injector
-	if opts.Faults != nil {
-		if err := opts.Faults.Validate(); err != nil {
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		inj = fault.NewInjector(opts.Faults, n)
-		opts.Faults.ApplyBursts(set)
+		inj = fault.NewInjector(cfg.Faults, n)
+		cfg.Faults.ApplyBursts(set)
 	}
-	ctrl := opts.Admit
+	ctrl := cfg.Admit
 	if ctrl != nil {
 		// Shedding cascades to dependents (a shed dependency can never
 		// complete, so its dependents would deadlock the scheduler), which
@@ -108,13 +160,13 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 	}
 	var rec *fault.Recorder
 	if inj != nil || ctrl != nil {
-		rec = fault.NewRecorder(opts.Sink, opts.Metrics)
+		rec = fault.NewRecorder(cfg.Sink, cfg.Metrics)
 	}
 	set.ResetAll()
 	// The instrumentation wrapper covers every policy at the decision-loop
 	// boundary; with neither a sink nor a registry it is a no-op returning
 	// s itself, so uninstrumented runs pay nothing.
-	s = sched.Instrument(s, opts.Sink, opts.Metrics)
+	s = sched.Instrument(s, cfg.Sink, cfg.Metrics)
 	s.Init(set)
 
 	// Arrival order: by time, ties by ID for determinism.
@@ -127,7 +179,7 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		return order[i].ID < order[j].ID
 	})
 
-	maxSteps := opts.MaxSteps
+	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
 		// Every iteration either completes a transaction, consumes an
 		// arrival, or idles toward one; 8n+64 leaves ample slack. Aborts
@@ -135,7 +187,7 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		// a fault plan scales the budget up.
 		maxSteps = 8*n + 64
 		if inj != nil {
-			maxSteps = maxSteps*(1+opts.Faults.MaxRestarts) + 16*len(opts.Faults.Stalls)
+			maxSteps = maxSteps*(1+cfg.Faults.MaxRestarts) + 16*len(cfg.Faults.Stalls)
 		}
 	}
 
@@ -301,8 +353,8 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 		// Advance all servers to the event.
 		dt := event - now
 		for _, t := range running {
-			if opts.Recorder != nil && dt > 0 {
-				opts.Recorder.Record(t.ID, now, event)
+			if cfg.Recorder != nil && dt > 0 {
+				cfg.Recorder.Record(t.ID, now, event)
 			}
 			t.Remaining -= dt
 			busy += dt
@@ -384,10 +436,24 @@ func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error
 
 // MustRun is Run but panics on error; for examples and benchmarks where a
 // failure indicates a bug rather than a recoverable condition.
-func MustRun(set *txn.Set, s sched.Scheduler, opts Options) *metrics.Summary {
-	summary, err := Run(set, s, opts)
+func (e *Sim) MustRun(set *txn.Set, s sched.Scheduler) *metrics.Summary {
+	summary, err := e.Run(set, s)
 	if err != nil {
 		panic(err)
 	}
 	return summary
+}
+
+// Run simulates set under s with the given configuration.
+//
+// Deprecated: use New(cfg).Run(set, s).
+func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error) {
+	return New(opts).Run(set, s)
+}
+
+// MustRun is Run but panics on error.
+//
+// Deprecated: use New(cfg).MustRun(set, s).
+func MustRun(set *txn.Set, s sched.Scheduler, opts Options) *metrics.Summary {
+	return New(opts).MustRun(set, s)
 }

@@ -33,7 +33,7 @@ func mustSet(t *testing.T, txns ...*txn.Transaction) *txn.Set {
 
 func TestRunSingleTransaction(t *testing.T) {
 	set := mustSet(t, mk(0, 2, 10, 5))
-	sum, err := Run(set, sched.NewEDF(), Options{})
+	sum, err := New(Config{}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestRunIdlePeriods(t *testing.T) {
 	// Two transactions separated by an idle gap.
 	set := mustSet(t, mk(0, 0, 10, 2), mk(1, 10, 20, 3))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, sched.NewFCFS(), Options{Recorder: rec}); err != nil {
+	if _, err := New(Config{Recorder: rec}).Run(set, sched.NewFCFS()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(0).FinishTime != 2 || set.ByID(1).FinishTime != 13 {
@@ -65,7 +65,7 @@ func TestPreemptionUnderSRPT(t *testing.T) {
 	// T0 (length 10) starts; T1 (length 2) arrives at t=4 and preempts.
 	set := mustSet(t, mk(0, 0, 100, 10), mk(1, 4, 100, 2))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, sched.NewSRPT(), Options{Recorder: rec}); err != nil {
+	if _, err := New(Config{Recorder: rec}).Run(set, sched.NewSRPT()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(1).FinishTime != 6 {
@@ -85,7 +85,7 @@ func TestPreemptionUnderSRPT(t *testing.T) {
 func TestNoPreemptionUnderFCFS(t *testing.T) {
 	set := mustSet(t, mk(0, 0, 100, 10), mk(1, 4, 100, 2))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, sched.NewFCFS(), Options{Recorder: rec}); err != nil {
+	if _, err := New(Config{Recorder: rec}).Run(set, sched.NewFCFS()); err != nil {
 		t.Fatal(err)
 	}
 	if got := rec.Preemptions(set); got != 0 {
@@ -100,7 +100,7 @@ func TestArrivalExactlyAtCompletion(t *testing.T) {
 	// T1 arrives exactly when T0 completes; no preemption slice, no idling.
 	set := mustSet(t, mk(0, 0, 100, 5), mk(1, 5, 100, 3))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, sched.NewSRPT(), Options{Recorder: rec}); err != nil {
+	if _, err := New(Config{Recorder: rec}).Run(set, sched.NewSRPT()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(1).FinishTime != 8 {
@@ -110,7 +110,7 @@ func TestArrivalExactlyAtCompletion(t *testing.T) {
 
 func TestSimultaneousArrivals(t *testing.T) {
 	set := mustSet(t, mk(0, 1, 100, 4), mk(1, 1, 50, 4), mk(2, 1, 10, 4))
-	if _, err := Run(set, sched.NewEDF(), Options{}); err != nil {
+	if _, err := New(Config{}).Run(set, sched.NewEDF()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(2).FinishTime != 5 || set.ByID(1).FinishTime != 9 || set.ByID(0).FinishTime != 13 {
@@ -124,7 +124,7 @@ func TestDependenciesAcrossArrivals(t *testing.T) {
 	// and completion of the dependency.
 	set := mustSet(t, mk(0, 8, 100, 2), mk(1, 0, 100, 3, 0))
 	rec := &trace.Recorder{}
-	if _, err := Run(set, core.New(), Options{Recorder: rec}); err != nil {
+	if _, err := New(Config{Recorder: rec}).Run(set, core.New()); err != nil {
 		t.Fatal(err)
 	}
 	if set.ByID(1).FinishTime != 13 {
@@ -141,7 +141,7 @@ func TestBusyTimeEqualsTotalWork(t *testing.T) {
 		mk(1, 3, 9, 2),
 		mk(2, 5, 40, 4),
 	)
-	sum, err := Run(set, core.New(), Options{})
+	sum, err := New(Config{}).Run(set, core.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func (l *livelockScheduler) OnCompletion(now float64, t *txn.Transaction) {}
 
 func TestDeadlockDetected(t *testing.T) {
 	set := mustSet(t, mk(0, 0, 10, 5))
-	_, err := Run(set, &livelockScheduler{}, Options{})
+	_, err := New(Config{}).Run(set, &livelockScheduler{})
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("err = %v, want deadlock detection", err)
 	}
@@ -183,7 +183,7 @@ func (e *earlyScheduler) OnCompletion(float64, *txn.Transaction) {
 
 func TestSchedulerReturningUnarrivedRejected(t *testing.T) {
 	set := mustSet(t, mk(0, 5, 10, 1))
-	_, err := Run(set, &earlyScheduler{}, Options{})
+	_, err := New(Config{}).Run(set, &earlyScheduler{})
 	if err == nil || !strings.Contains(err.Error(), "before its arrival") {
 		t.Fatalf("err = %v, want arrival violation", err)
 	}
@@ -192,11 +192,11 @@ func TestSchedulerReturningUnarrivedRejected(t *testing.T) {
 func TestReplayAcrossPolicies(t *testing.T) {
 	// The same Set must be reusable: ResetAll inside Run restores state.
 	set := mustSet(t, mk(0, 0, 5, 4), mk(1, 1, 4, 2))
-	s1, err := Run(set, sched.NewEDF(), Options{})
+	s1, err := New(Config{}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Run(set, sched.NewEDF(), Options{})
+	s2, err := New(Config{}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,12 +212,12 @@ func TestMustRunPanicsOnError(t *testing.T) {
 			t.Fatal("MustRun did not panic on scheduler error")
 		}
 	}()
-	MustRun(set, &livelockScheduler{}, Options{})
+	New(Config{}).MustRun(set, &livelockScheduler{})
 }
 
 func TestRunEmptySet(t *testing.T) {
 	set := mustSet(t)
-	sum, err := Run(set, sched.NewEDF(), Options{})
+	sum, err := New(Config{}).Run(set, sched.NewEDF())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -185,6 +185,40 @@ func (s *Set) ResetAll() {
 	}
 }
 
+// Clone returns a deep copy of the set: every transaction (including its
+// scheduling-time state and dependency list) and the reverse-edge index are
+// copied, so mutating the clone — running it through a simulator, shedding,
+// fault injection, arrival rewrites — never touches the original. Workflows
+// are derived structures (BuildWorkflows constructs them from a set), so a
+// clone's workflows are built from the clone and share nothing either.
+//
+// Clone exists for the parallel experiment engine (internal/runner): each
+// concurrent run owns a private copy of the workload while the original
+// remains reusable. The copy preserves the exact float64 bits and slice
+// nil-ness of the original, so a clone-then-run is byte-identical to an
+// original-run (see docs/PARALLELISM.md).
+func (s *Set) Clone() *Set {
+	c := &Set{Txns: make([]*Transaction, len(s.Txns))}
+	for i, t := range s.Txns {
+		ct := *t
+		if t.Deps != nil {
+			ct.Deps = make([]ID, len(t.Deps))
+			copy(ct.Deps, t.Deps)
+		}
+		c.Txns[i] = &ct
+	}
+	if s.Dependents != nil {
+		c.Dependents = make([][]ID, len(s.Dependents))
+		for i, deps := range s.Dependents {
+			if deps != nil {
+				c.Dependents[i] = make([]ID, len(deps))
+				copy(c.Dependents[i], deps)
+			}
+		}
+	}
+	return c
+}
+
 // TopologicalOrder returns the transaction IDs in an order where every
 // transaction appears after all of its dependencies, or an error if the
 // dependency graph has a cycle (which would deadlock any scheduler).

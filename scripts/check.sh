@@ -47,4 +47,8 @@ echo "== overload shedding benchmark"
 go run ./cmd/asetsbench -fault-bench BENCH_fault.json -n 300 -seeds 2
 cat BENCH_fault.json
 
+echo "== parallel runner benchmark (bit-exactness gate)"
+go run ./cmd/asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2
+cat BENCH_parallel.json
+
 echo "all checks passed"
