@@ -12,6 +12,7 @@
 //	asetsbench -n 500 -seeds 3         # scale down for a quick look
 //	asetsbench -list                   # list experiment IDs
 //	asetsbench -obs-bench BENCH_obs.json -n 400   # instrumentation overhead
+//	asetsbench -span-bench BENCH_span.json -n 400   # span + sketch overhead
 //	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
 //	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
 package main
@@ -43,6 +44,7 @@ func main() {
 		jsonDir    = flag.String("json", "", "directory to write per-figure JSON results into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		obsBench   = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
+		spanBench  = flag.String("span-bench", "", "benchmark span-builder and sketch overhead, write JSON to this path, and exit")
 		faultBench = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
 		parBench   = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
 	)
@@ -66,6 +68,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: obs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *spanBench != "" {
+		f, err := os.Create(*spanBench)
+		if err == nil {
+			err = runSpanBench(f, *n, 3)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: span-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

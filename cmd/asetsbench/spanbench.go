@@ -1,0 +1,112 @@
+// Span-pipeline overhead benchmark: quantifies what the causal-span builder
+// and its windowed percentile sketches cost on the simulator hot path, and
+// records the result as a small machine-readable JSON document
+// (BENCH_span.json in CI).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// spanBenchResult is the BENCH_span.json document.
+type spanBenchResult struct {
+	N                  int     `json:"n"`                      // transactions per simulated run
+	BaselineNsPerOp    int64   `json:"baseline_ns_per_op"`     // no instrumentation at all
+	SpansNsPerOp       int64   `json:"spans_ns_per_op"`        // span builder, no sketches
+	SpansSketchNsPerOp int64   `json:"spans_sketch_ns_per_op"` // span builder + windowed sketches
+	SpansOverheadPct   float64 `json:"spans_overhead_pct"`
+	SketchOverheadPct  float64 `json:"spans_sketch_overhead_pct"`
+	RunsPerBatch       int     `json:"runs_per_batch"`
+	Batches            int     `json:"batches"`
+}
+
+// runSpanBench measures full sim.Run calls with the span pipeline off, on,
+// and on with sketch observation. Batches interleave round-robin across the
+// three configurations with best-of selection, as in runObsBench, so
+// machine-wide drift biases all configurations equally.
+func runSpanBench(w io.Writer, n, reps int) error {
+	cfg := workload.Default(0.9, 1).WithWorkflows(4, 1).WithWeights()
+	cfg.N = n
+	set, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The span builder holds per-run state, so each run builds a fresh one
+	// (that cost is part of what is being measured).
+	configs := []func() sim.Config{
+		func() sim.Config { return sim.Config{} },
+		func() sim.Config {
+			return sim.Config{Sink: obs.NewSpanBuilder(set, obs.SpanOptions{})}
+		},
+		func() sim.Config {
+			return sim.Config{Sink: obs.NewSpanBuilder(set, obs.SpanOptions{
+				Metrics: obs.NewRegistry(), Window: 100,
+			})}
+		},
+	}
+	runBatch := func(mk func() sim.Config, runs int) (time.Duration, error) {
+		start := time.Now()
+		for j := 0; j < runs; j++ {
+			if _, err := sim.New(mk()).Run(set, core.New()); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	warmup, err := runBatch(configs[0], 1)
+	if err != nil {
+		return err
+	}
+	runs := int(50 * time.Millisecond / (warmup + 1))
+	if runs < 10 {
+		runs = 10
+	}
+	batches := 4 * reps
+
+	best := make([]time.Duration, len(configs))
+	for round := 0; round < batches; round++ {
+		for i, mk := range configs {
+			d, err := runBatch(mk, runs)
+			if err != nil {
+				return err
+			}
+			if best[i] == 0 || d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+
+	nsPerOp := func(i int) int64 { return best[i].Nanoseconds() / int64(runs) }
+	baseline, spans, sketch := nsPerOp(0), nsPerOp(1), nsPerOp(2)
+	pct := func(v int64) float64 {
+		return 100 * (float64(v) - float64(baseline)) / float64(baseline)
+	}
+	res := spanBenchResult{
+		N:                  n,
+		BaselineNsPerOp:    baseline,
+		SpansNsPerOp:       spans,
+		SpansSketchNsPerOp: sketch,
+		SpansOverheadPct:   pct(spans),
+		SketchOverheadPct:  pct(sketch),
+		RunsPerBatch:       runs,
+		Batches:            batches,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	fmt.Printf("span-bench: n=%d baseline=%dns spans=%dns (%+.2f%%) spans+sketch=%dns (%+.2f%%)\n",
+		n, baseline, spans, res.SpansOverheadPct, sketch, res.SketchOverheadPct)
+	return nil
+}

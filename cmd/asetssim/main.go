@@ -10,6 +10,7 @@
 //	asetssim -policy ready -load workload.json
 //	asetssim -compare -util 0.9           # run every policy on one workload
 //	asetssim -events out.jsonl            # decision-event stream, one JSON per line
+//	asetssim -spans out.jsonl             # per-transaction causal spans, one JSON per line
 //	asetssim -timeline out.json           # Chrome trace-event timeline (Perfetto)
 //	asetssim -faults plan.json -admit slack:2   # fault injection + shedding
 //
@@ -82,11 +83,12 @@ func main() {
 		save     = flag.String("save", "", "save the generated workload JSON to this path")
 		doTrace  = flag.Bool("trace", false, "record, validate and summarize the schedule")
 		events   = flag.String("events", "", "write the scheduler decision-event stream as JSONL to this path")
+		spans    = flag.String("spans", "", "write per-transaction causal spans as JSONL to this path")
 		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this path (implies -trace)")
 		analyze  = flag.Bool("analyze", false, "print class breakdowns, wait decomposition and tardiness histogram (implies -trace)")
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (small workloads only; implies -trace)")
 		compare  = flag.Bool("compare", false, "run every policy on the same workload")
-		invar    = flag.Bool("invariants", false, "audit ASETS* queue invariants at every decision point (asets-family policies; O(n) per decision)")
+		invar    = flag.Bool("invariants", false, "validate the decision-event stream after the run (all policies); asets-family policies additionally audit ASETS* queue invariants at every decision point (O(n) per decision)")
 		servers  = flag.Int("servers", 1, "number of identical backend servers")
 		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
@@ -129,11 +131,11 @@ func main() {
 	}
 
 	wantTrace := *doTrace || *analyze || *gantt
-	outs := obsOutputs{eventsPath: *events, timelinePath: *timeline}
+	outs := obsOutputs{eventsPath: *events, spansPath: *spans, timelinePath: *timeline, validate: *invar}
 
 	if *compare {
-		if outs.eventsPath != "" || outs.timelinePath != "" {
-			fmt.Fprintln(os.Stderr, "asetssim: -events/-timeline export a single run; drop -compare")
+		if outs.eventsPath != "" || outs.spansPath != "" || outs.timelinePath != "" {
+			fmt.Fprintln(os.Stderr, "asetssim: -events/-spans/-timeline export a single run; drop -compare")
 			os.Exit(2)
 		}
 		names := make([]string, 0, len(policies))
@@ -142,13 +144,14 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			// With -invariants, audit the asets-family entries of the
-			// comparison; the baselines have no ASETS* state to check.
+			// With -invariants, every entry gets its decision-event stream
+			// validated; the asets-family entries are additionally audited at
+			// each decision point (the baselines have no ASETS* state).
 			s := policies[name]()
 			if *invar {
 				s = wrapInvariants(s)
 			}
-			runOne(set, s, *servers, wantTrace, *analyze, *gantt, obsOutputs{}, rob)
+			runOne(set, s, *servers, wantTrace, *analyze, *gantt, obsOutputs{validate: *invar}, rob)
 		}
 		return
 	}
@@ -166,10 +169,6 @@ func main() {
 		s = core.New(core.WithCountActivation(*balCount))
 	}
 	if *invar {
-		if _, ok := s.(*core.ASETSStar); !ok {
-			fmt.Fprintf(os.Stderr, "asetssim: -invariants audits ASETS* queue state and needs an asets-family policy, not %q\n", *policy)
-			os.Exit(2)
-		}
 		s = wrapInvariants(s)
 	}
 	runOne(set, s, *servers, wantTrace, *analyze, *gantt, outs, rob)
@@ -215,10 +214,12 @@ func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
 	return set, &cfg, err
 }
 
-// obsOutputs names the optional observability export paths of a run.
+// obsOutputs names the optional observability exports and checks of a run.
 type obsOutputs struct {
 	eventsPath   string // JSONL decision-event stream
+	spansPath    string // JSONL per-transaction causal spans
 	timelinePath string // Chrome trace-event timeline (implies tracing)
+	validate     bool   // run obs.Validate over the collected event stream
 }
 
 func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs, rob *cliflag.Robustness) {
@@ -231,12 +232,14 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 
 	// Wire the requested event exports into one sink: the JSONL writer
 	// streams to disk as the run progresses, the collector feeds the
-	// timeline exporter afterwards.
+	// timeline exporter and the event validator afterwards, and the span
+	// builder folds the stream into per-transaction causal spans.
 	var (
 		sinks      []obs.Sink
 		jw         *obs.JSONLWriter
 		eventsFile *os.File
 		col        *obs.Collector
+		spb        *obs.SpanBuilder
 	)
 	if outs.eventsPath != "" {
 		f, err := os.Create(outs.eventsPath)
@@ -248,9 +251,13 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		jw = obs.NewJSONLWriter(f)
 		sinks = append(sinks, jw)
 	}
-	if outs.timelinePath != "" {
+	if outs.timelinePath != "" || outs.validate {
 		col = &obs.Collector{}
 		sinks = append(sinks, col)
+	}
+	if outs.spansPath != "" || outs.timelinePath != "" {
+		spb = obs.NewSpanBuilder(set, obs.SpanOptions{})
+		sinks = append(sinks, spb)
 	}
 	if len(sinks) > 0 {
 		cfg.Sink = obs.Tee(sinks...)
@@ -273,10 +280,32 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		}
 		fmt.Printf("  events: wrote %s\n", outs.eventsPath)
 	}
-	if col != nil {
+	if outs.validate {
+		evs := col.Events()
+		if err := obs.Validate(evs); err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: %s: INVALID EVENT STREAM: %v\n", s.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("  events: %d validated OK\n", len(evs))
+	}
+	if outs.spansPath != "" {
+		f, err := os.Create(outs.spansPath)
+		if err == nil {
+			err = obs.WriteSpans(f, spb.Spans())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetssim: writing %s: %v\n", outs.spansPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  spans: wrote %s (%d spans)\n", outs.spansPath, len(spb.Spans()))
+	}
+	if outs.timelinePath != "" {
 		f, err := os.Create(outs.timelinePath)
 		if err == nil {
-			err = obs.WriteTimeline(f, rec.Slices, col.Events())
+			err = obs.WriteTimelineFlows(f, rec.Slices, col.Events(), spb.Spans())
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

@@ -74,24 +74,25 @@ func TestBuildWorkloadMissingFile(t *testing.T) {
 	}
 }
 
-// TestRunOneObsOutputs drives the -events/-timeline paths end to end: both
-// files must appear, parse, and the event stream must be byte-identical
-// across two fixed-seed runs.
+// TestRunOneObsOutputs drives the -events/-spans/-timeline/-invariants paths
+// end to end: all files must appear, parse, and the event and span streams
+// must be byte-identical across two fixed-seed runs.
 func TestRunOneObsOutputs(t *testing.T) {
 	dir := t.TempDir()
-	run := func(tag string) (eventsPath, timelinePath string) {
+	run := func(tag string) (eventsPath, spansPath, timelinePath string) {
 		eventsPath = filepath.Join(dir, tag+".jsonl")
+		spansPath = filepath.Join(dir, tag+"-spans.jsonl")
 		timelinePath = filepath.Join(dir, tag+".json")
 		cfg := workload.Default(0.9, 11)
 		cfg.N = 120
 		set := workload.MustGenerate(cfg)
 		runOne(set, core.New(), 1, false, false, false,
-			obsOutputs{eventsPath: eventsPath, timelinePath: timelinePath},
+			obsOutputs{eventsPath: eventsPath, spansPath: spansPath, timelinePath: timelinePath, validate: true},
 			&cliflag.Robustness{AdmitSpec: "none"})
-		return eventsPath, timelinePath
+		return eventsPath, spansPath, timelinePath
 	}
-	ev1, tl := run("a")
-	ev2, _ := run("b")
+	ev1, sp1, tl := run("a")
+	ev2, sp2, _ := run("b")
 
 	b1, err := os.ReadFile(ev1)
 	if err != nil {
@@ -121,6 +122,40 @@ func TestRunOneObsOutputs(t *testing.T) {
 	}
 	if lines < 240 { // at least arrival+completion per transaction
 		t.Fatalf("only %d event lines", lines)
+	}
+
+	s1, err := os.ReadFile(sp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := os.ReadFile(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty span stream")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("fixed-seed -spans outputs differ")
+	}
+	spanLines := 0
+	sc = bufio.NewScanner(bytes.NewReader(s1))
+	for sc.Scan() {
+		var sp struct {
+			Txn       *int     `json:"txn"`
+			Response  *float64 `json:"response"`
+			Completed bool     `json:"completed"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("span line %d: %v", spanLines+1, err)
+		}
+		if sp.Txn == nil || sp.Response == nil || !sp.Completed {
+			t.Fatalf("span line %d malformed: %s", spanLines+1, sc.Text())
+		}
+		spanLines++
+	}
+	if spanLines != 120 {
+		t.Fatalf("%d span lines, want 120", spanLines)
 	}
 
 	tb, err := os.ReadFile(tl)

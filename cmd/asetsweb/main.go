@@ -26,7 +26,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,6 +36,7 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/executor"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -54,9 +54,15 @@ func main() {
 		scale   = flag.Duration("scale", 5*time.Millisecond, "wall-clock duration of one simulated time unit")
 		loop    = flag.Bool("loop", true, "restart the replay with a fresh seed when it finishes")
 		pprofOn = flag.Bool("pprof", false, "serve the net/http/pprof handlers under /debug/pprof/")
+		logDet  = flag.Bool("log-deterministic", false, "drop wall-clock timestamps from log records (fixed-seed runs log byte-identically)")
 	)
 	rob := cliflag.AddRobustness(flag.CommandLine)
 	flag.Parse()
+
+	// Structured logging shares field keys with the span/event exports, so a
+	// txn=17 in a log line greps against the same key in span JSONL and SSE
+	// frames; see internal/obs/log.go.
+	logger := obs.NewLogger(os.Stderr, *logDet)
 
 	factories := map[string]func() sched.Scheduler{
 		"asets": func() sched.Scheduler { return core.New() },
@@ -69,7 +75,7 @@ func main() {
 	}
 	factory, ok := factories[*policy]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "asetsweb: unknown policy %q\n", *policy)
+		logger.Error("unknown policy", obs.LogKeyPolicy, *policy)
 		os.Exit(2)
 	}
 
@@ -104,7 +110,7 @@ func main() {
 
 	srv, err := build(*seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+		logger.Error("building workload", obs.LogKeyErr, err.Error(), obs.LogKeySeed, *seed)
 		os.Exit(1)
 	}
 
@@ -146,12 +152,12 @@ func main() {
 		nextSeed := *seed
 		for {
 			if _, err := s.Start(ctx); err != nil {
-				fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+				logger.Error("starting replay", obs.LogKeyErr, err.Error())
 				return
 			}
 			if err := s.Wait(ctx); err != nil {
 				if ctx.Err() == nil {
-					fmt.Fprintf(os.Stderr, "asetsweb: replay: %v\n", err)
+					logger.Error("replay failed", obs.LogKeyErr, err.Error())
 				}
 				return
 			}
@@ -161,17 +167,18 @@ func main() {
 			nextSeed++
 			ns, err := build(nextSeed)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+				logger.Error("building workload", obs.LogKeyErr, err.Error(), obs.LogKeySeed, nextSeed)
 				return
 			}
+			logger.Info("replay restarted", obs.LogKeySeed, nextSeed)
 			<-current
 			current <- ns
 			s = ns
 		}
 	}()
 
-	fmt.Printf("asetsweb: %s scheduling %d transactions at U=%.2f — http://localhost%s/\n",
-		*policy, *n, *util, *addr)
+	logger.Info("serving dashboard",
+		obs.LogKeyPolicy, *policy, "n", *n, "util", *util, "addr", *addr, obs.LogKeySeed, *seed)
 
 	// Hardened server config: slowloris-resistant header/body deadlines and
 	// an idle cap for keep-alive connections. The longest handler is the
@@ -195,7 +202,7 @@ func main() {
 	select {
 	case err := <-serveErr:
 		// Listener failed outright (e.g. port in use).
-		fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+		logger.Error("listener failed", obs.LogKeyErr, err.Error(), "addr", *addr)
 		exitCode = 1
 		stop()
 	case <-ctx.Done():
@@ -203,12 +210,12 @@ func main() {
 		// then join the serve goroutine.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "asetsweb: shutdown: %v\n", err)
+			logger.Error("shutdown failed", obs.LogKeyErr, err.Error())
 			exitCode = 1
 		}
 		cancel()
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "asetsweb: %v\n", err)
+			logger.Error("serve failed", obs.LogKeyErr, err.Error())
 			exitCode = 1
 		}
 	}

@@ -126,11 +126,12 @@ func Suite() []*Analyzer {
 		"internal/sim", "internal/core", "internal/sched",
 		"internal/workload", "internal/experiments", "internal/obs",
 		"internal/fault", "internal/admit", "internal/runner",
+		"internal/metrics",
 	}
 	mr := MapRange()
 	mr.Include = []string{
 		"internal/core", "internal/sched", "internal/sim", "internal/executor",
-		"internal/obs",
+		"internal/obs", "internal/metrics",
 	}
 	fc := FloatCmp()
 	fc.Include = []string{

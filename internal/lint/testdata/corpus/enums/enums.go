@@ -72,3 +72,70 @@ func RouteErroringDefault(p Policy) (string, error) {
 		return "", fmt.Errorf("unknown policy %d", p)
 	}
 }
+
+// EventKind is a module-declared decision-event-kind enum, mirroring the
+// span builder's event-handling switches.
+type EventKind int
+
+const (
+	// EventArrival is a transaction arrival.
+	EventArrival EventKind = iota
+	// EventDispatch is a dispatch onto a server.
+	EventDispatch
+	// EventCompletion is a completion.
+	EventCompletion
+	// EventAbort is a keyed or crash abort.
+	EventAbort
+)
+
+// SegmentSilent misses EventAbort behind a silent default: flagged.
+func SegmentSilent(k EventKind) string {
+	switch k { // want exhaustive-policy-switch
+	case EventArrival:
+		return "queued"
+	case EventDispatch:
+		return "running"
+	default:
+		return "unknown"
+	}
+}
+
+// SegmentMissing misses EventCompletion with no default at all: flagged.
+func SegmentMissing(k EventKind) string {
+	s := ""
+	switch k { // want exhaustive-policy-switch
+	case EventArrival:
+		s = "queued"
+	case EventDispatch:
+		s = "running"
+	case EventAbort:
+		s = "backoff"
+	}
+	return s
+}
+
+// SegmentExhaustive handles every constant: legal.
+func SegmentExhaustive(k EventKind) string {
+	switch k {
+	case EventArrival:
+		return "queued"
+	case EventDispatch:
+		return "running"
+	case EventCompletion:
+		return "done"
+	case EventAbort:
+		return "backoff"
+	}
+	return ""
+}
+
+// SegmentPanicDefault fails loudly on unknown kinds, the span builder's
+// convention: legal.
+func SegmentPanicDefault(k EventKind) string {
+	switch k {
+	case EventArrival:
+		return "queued"
+	default:
+		panic(fmt.Sprintf("unhandled event kind %d", k))
+	}
+}

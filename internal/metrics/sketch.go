@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch is a deterministic, mergeable quantile sketch with fixed geometric
+// bucket boundaries (the DDSketch family): bucket i covers values in
+// (gamma^(i-1), gamma^i] with gamma = (1+alpha)/(1-alpha), so every quantile
+// estimate is the upper edge of a bucket and carries a relative error bounded
+// by alpha. Because the boundaries are a pure function of alpha — never of
+// the data — two sketches built from the same observations in any order hold
+// identical bucket counts, and sketches from disjoint runs merge exactly
+// (counts add cell by cell). That fixed-boundary property is what lets the
+// parallel experiment engine keep windowed percentiles bit-identical between
+// serial and multi-worker runs (docs/PARALLELISM.md).
+//
+// Like Histogram, a dedicated zero bucket carries the "met the deadline"
+// mass point of tardiness distributions, and the running Sum accumulates in
+// observation order (merge adds the other sketch's sum, so merging in job
+// order reproduces a serial run's sum bit for bit; see Merge).
+type Sketch struct {
+	alpha    float64
+	gamma    float64
+	logGamma float64
+	zero     int64
+	lo       int // bucket index of buckets[0]; meaningful when len(buckets) > 0
+	buckets  []int64
+	n        int64
+	sum      float64
+	max      float64
+}
+
+// sketchIndexBound clamps bucket indices: with alpha = 0.01 the bound covers
+// values from roughly 1e-17 to 1e+17. Observations beyond it collapse into
+// the edge buckets (Max still records the exact extreme).
+const sketchIndexBound = 4096
+
+// NewSketch returns a sketch with relative accuracy alpha (0 < alpha < 1;
+// 0.01 gives 1% relative error, the conventional default).
+func NewSketch(alpha float64) *Sketch {
+	if !(alpha > 0 && alpha < 1) || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("metrics: sketch alpha %v must be in (0, 1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma)}
+}
+
+// Add records one observation. Negative and NaN values panic: tardiness,
+// response times and slowdowns are non-negative by construction, so anything
+// else is a caller bug worth surfacing immediately.
+func (s *Sketch) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("metrics: sketch observation %v must be non-negative", v))
+	}
+	s.n++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+	if v == 0 {
+		s.zero++
+		return
+	}
+	s.grow(s.index(v))
+}
+
+// index maps a positive value to its bucket: the smallest i with
+// gamma^i >= v, clamped to the indexable range.
+func (s *Sketch) index(v float64) int {
+	idx := int(math.Ceil(math.Log(v) / s.logGamma))
+	if idx < -sketchIndexBound {
+		idx = -sketchIndexBound
+	}
+	if idx > sketchIndexBound {
+		idx = sketchIndexBound
+	}
+	return idx
+}
+
+// grow increments bucket idx, extending the dense backing array as needed.
+func (s *Sketch) grow(idx int) {
+	if len(s.buckets) == 0 {
+		s.lo = idx
+		s.buckets = []int64{1}
+		return
+	}
+	if idx < s.lo {
+		pad := make([]int64, s.lo-idx)
+		s.buckets = append(pad, s.buckets...)
+		s.lo = idx
+	}
+	for idx >= s.lo+len(s.buckets) {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[idx-s.lo]++
+}
+
+// Merge folds other into s: zero and bucket counts add cell by cell, the
+// running sum accumulates as s.sum + other.sum, and the maximum is the larger
+// of the two. Counts, cells, max — and therefore every quantile — are exact
+// under any merge grouping; the float sum is a left-fold, so it is
+// bit-reproducible for a fixed set of partials folded in a fixed order (the
+// runner merges per-job sketches in job order on both its serial and parallel
+// paths, which is why worker count never changes the merged sum). It returns
+// an error when the relative accuracies differ, because the bucket boundaries
+// would not align. other is not modified.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.alpha != other.alpha {
+		return fmt.Errorf("metrics: cannot merge sketches with alpha %v and %v", s.alpha, other.alpha)
+	}
+	s.n += other.n
+	s.zero += other.zero
+	s.sum += other.sum
+	if other.max > s.max {
+		s.max = other.max
+	}
+	for i, c := range other.buckets {
+		if c != 0 {
+			idx := other.lo + i
+			s.grow(idx)
+			s.buckets[idx-s.lo] += c - 1 // grow already added 1
+		}
+	}
+	return nil
+}
+
+// N returns the number of observations.
+func (s *Sketch) N() int64 { return s.n }
+
+// Sum returns the exact running sum of all observations, accumulated in
+// observation (or merge) order.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Max returns the largest observation.
+func (s *Sketch) Max() float64 { return s.max }
+
+// Alpha returns the relative accuracy the sketch was constructed with.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// ZeroCount returns the number of exactly-zero observations.
+func (s *Sketch) ZeroCount() int64 { return s.zero }
+
+// Quantile returns the upper bucket edge holding the q-quantile (0 < q <= 1):
+// an upper estimate within relative error alpha of the true quantile (zero
+// for the zero bucket). The estimate is a pure function of the bucket counts
+// — identical counts give a bit-identical answer regardless of the order the
+// observations arrived or the sketches were merged in.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.n)))
+	acc := s.zero
+	if acc >= target {
+		return 0
+	}
+	for i, c := range s.buckets {
+		acc += c
+		if acc >= target {
+			if s.lo+i >= sketchIndexBound {
+				// Observations clamped into the top bucket may exceed its
+				// nominal edge; the exact maximum is the honest bound.
+				return s.max
+			}
+			edge := math.Pow(s.gamma, float64(s.lo+i))
+			if edge > s.max {
+				// The top bucket's edge can overshoot the data; the true
+				// quantile never exceeds the exact maximum.
+				return s.max
+			}
+			return edge
+		}
+	}
+	return s.max
+}
+
+// SketchCell is one occupied bucket for exporters: Upper is the bucket's
+// upper edge (0 for the zero bucket) and Count the per-cell occupancy.
+type SketchCell struct {
+	Upper float64
+	Count int64
+}
+
+// Cells returns the occupied buckets in ascending upper-edge order, zero
+// bucket first (when occupied). Counts are per-cell, not cumulative.
+func (s *Sketch) Cells() []SketchCell {
+	out := make([]SketchCell, 0, len(s.buckets)+1)
+	if s.zero > 0 {
+		out = append(out, SketchCell{Upper: 0, Count: s.zero})
+	}
+	for i, c := range s.buckets {
+		if c > 0 {
+			out = append(out, SketchCell{Upper: math.Pow(s.gamma, float64(s.lo+i)), Count: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Structured-log field keys shared between log records and span/event
+// attributes, so a `txn=17` in a log line greps against the same key in
+// span JSONL and SSE frames.
+const (
+	LogKeyTxn    = "txn"    // transaction ID (int)
+	LogKeyWF     = "wf"     // workflow ID (int)
+	LogKeyPolicy = "policy" // scheduler name (string)
+	LogKeyTime   = "t"      // simulated time (float64)
+	LogKeySeed   = "seed"   // workload seed (uint64)
+	LogKeyErr    = "err"    // error detail (string)
+)
+
+// NewLogger returns a text slog.Logger writing to w. With deterministic set,
+// the wall-clock timestamp attribute is dropped from every record so that
+// fixed-seed runs log byte-identical streams — the same contract the event
+// and span exports follow (simulated time travels in the LogKeyTime field
+// instead).
+func NewLogger(w io.Writer, deterministic bool) *slog.Logger {
+	opts := &slog.HandlerOptions{}
+	if deterministic {
+		opts.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerDeterministicDropsTime(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, true)
+	l.Info("replay started", LogKeyPolicy, "asets", LogKeyTxn, 17, LogKeyTime, 3.25)
+	got := b.String()
+	if strings.Contains(got, "time=") {
+		t.Fatalf("deterministic logger emitted a timestamp: %q", got)
+	}
+	want := "level=INFO msg=\"replay started\" policy=asets txn=17 t=3.25\n"
+	if got != want {
+		t.Fatalf("log line %q, want %q", got, want)
+	}
+}
+
+func TestNewLoggerDeterministicByteStable(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		l := NewLogger(&b, true)
+		for i := 0; i < 5; i++ {
+			l.Info("dispatch", LogKeyTxn, i, LogKeyWF, i%2, LogKeyTime, float64(i)*1.5)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("deterministic logger output not byte-stable")
+	}
+}
+
+func TestNewLoggerWallClockKeepsTime(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, false)
+	l.Warn("slow subscriber", LogKeyErr, "buffer full")
+	got := b.String()
+	if !strings.Contains(got, "time=") {
+		t.Fatalf("wall-clock logger dropped the timestamp: %q", got)
+	}
+	if !strings.Contains(got, "err=\"buffer full\"") {
+		t.Fatalf("missing structured field: %q", got)
+	}
+}

@@ -4,10 +4,11 @@ import "fmt"
 
 // Merge folds every metric of src into r: counters add, gauges take src's
 // value (so merging run registries in job order leaves the last run's gauge,
-// mirroring what a serial run over the same jobs would have left), and
-// histograms merge bucket-by-bucket via metrics.Histogram.Merge. Metrics
-// absent from r are created with src's help text (and, for histograms, src's
-// bucket base).
+// mirroring what a serial run over the same jobs would have left), histograms
+// merge bucket-by-bucket via metrics.Histogram.Merge, and quantile sketches
+// merge cell-by-cell via metrics.Sketch.Merge. Metrics absent from r are
+// created with src's help text (and, for histograms and sketches, src's
+// bucket base or relative accuracy).
 //
 // Merge is the aggregation step of the parallel experiment engine
 // (docs/PARALLELISM.md): each run writes to a private registry, and the
@@ -47,6 +48,11 @@ func (r *Registry) Merge(src *Registry) error {
 	for n, h := range src.hists {
 		hists[n] = h
 	}
+	sketches := make(map[string]*Sketch, len(src.sketches))
+	//lint:ignore maprange map-to-map handle copy; order-independent
+	for n, s := range src.sketches {
+		sketches[n] = s
+	}
 	help := make(map[string]string, len(src.help))
 	//lint:ignore maprange map-to-map handle copy; order-independent
 	for n, h := range src.help {
@@ -62,8 +68,9 @@ func (r *Registry) Merge(src *Registry) error {
 			r.mu.Lock()
 			_, g := r.gauges[name]
 			_, h := r.hists[name]
+			_, s := r.sketches[name]
 			r.mu.Unlock()
-			if g || h {
+			if g || h || s {
 				return fmt.Errorf("obs: merge: %q is a counter in the source but not in the destination", name)
 			}
 			r.Counter(name, help[name]).Add(counters[name].Value())
@@ -71,8 +78,9 @@ func (r *Registry) Merge(src *Registry) error {
 			r.mu.Lock()
 			_, c := r.counters[name]
 			_, h := r.hists[name]
+			_, s := r.sketches[name]
 			r.mu.Unlock()
-			if c || h {
+			if c || h || s {
 				return fmt.Errorf("obs: merge: %q is a gauge in the source but not in the destination", name)
 			}
 			r.Gauge(name, help[name]).Set(gauges[name].Value())
@@ -80,8 +88,9 @@ func (r *Registry) Merge(src *Registry) error {
 			r.mu.Lock()
 			_, c := r.counters[name]
 			_, g := r.gauges[name]
+			_, s := r.sketches[name]
 			r.mu.Unlock()
-			if c || g {
+			if c || g || s {
 				return fmt.Errorf("obs: merge: %q is a histogram in the source but not in the destination", name)
 			}
 			sh := hists[name]
@@ -96,6 +105,30 @@ func (r *Registry) Merge(src *Registry) error {
 			err := dh.h.Merge(sh.h)
 			dh.mu.Unlock()
 			sh.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("obs: merge %q: %w", name, err)
+			}
+		case sketches[name] != nil:
+			r.mu.Lock()
+			_, c := r.counters[name]
+			_, g := r.gauges[name]
+			_, h := r.hists[name]
+			r.mu.Unlock()
+			if c || g || h {
+				return fmt.Errorf("obs: merge: %q is a sketch in the source but not in the destination", name)
+			}
+			ss := sketches[name]
+			ss.mu.Lock()
+			alpha := ss.s.Alpha()
+			ds := r.Sketch(name, help[name], alpha)
+			if ds == ss {
+				ss.mu.Unlock()
+				return fmt.Errorf("obs: merge: sketch %q is shared between source and destination", name)
+			}
+			ds.mu.Lock()
+			err := ds.s.Merge(ss.s)
+			ds.mu.Unlock()
+			ss.mu.Unlock()
 			if err != nil {
 				return fmt.Errorf("obs: merge %q: %w", name, err)
 			}

@@ -35,8 +35,46 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
 	}
+	// Sketches render as Prometheus summaries. A registered sketch name may
+	// carry a label set (`asets_window_tardiness{window="0003",...}`); the
+	// quantile label is spliced into it, _sum/_count keep the original
+	// labels, and HELP/TYPE headers are emitted once per base metric name
+	// (the snapshot is name-sorted, so labeled cells of one base are
+	// adjacent).
+	lastBase := ""
+	for _, s := range snap.Sketches {
+		base, labels := splitMetricName(s.Name)
+		if base != lastBase {
+			writeHeader(&b, base, s.Help, "summary")
+			lastBase = base
+		}
+		for _, qv := range s.Quantiles {
+			fmt.Fprintf(&b, "%s%s %s\n", base, spliceLabel(labels, "quantile", formatFloat(qv.Q)), formatFloat(qv.Value))
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, formatFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, s.Count)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// splitMetricName separates a registered metric name into its base name and
+// an optional `{...}` label block (empty string when unlabeled).
+func splitMetricName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// spliceLabel appends one label pair to a `{...}` block, creating the block
+// when labels is empty.
+func spliceLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
 }
 
 func writeHeader(b *strings.Builder, name, help, typ string) {

@@ -65,6 +65,40 @@ func (h *Histogram) snapshot() HistogramValue {
 	}
 }
 
+// Sketch is a registry handle around metrics.Sketch: the fixed-boundary
+// quantile sketch behind the span layer's windowed percentiles, guarded by a
+// mutex so the simulation goroutine can observe while HTTP handlers snapshot.
+type Sketch struct {
+	mu sync.Mutex
+	s  *metrics.Sketch
+}
+
+// Observe records one non-negative observation.
+func (s *Sketch) Observe(v float64) {
+	s.mu.Lock()
+	s.s.Add(v)
+	s.mu.Unlock()
+}
+
+// sketchQuantiles are the percentiles every sketch snapshot reports — the
+// SLA trio the paper's tardiness analysis and the windowed exports use.
+var sketchQuantiles = []float64{0.5, 0.95, 0.99}
+
+// snapshot copies the sketch state under the lock.
+func (s *Sketch) snapshot() SketchValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv := SketchValue{
+		Count: s.s.N(),
+		Sum:   s.s.Sum(),
+		Max:   s.s.Max(),
+	}
+	for _, q := range sketchQuantiles {
+		sv.Quantiles = append(sv.Quantiles, QuantileValue{Q: q, Value: s.s.Quantile(q)})
+	}
+	return sv
+}
+
 // Registry holds the named metrics of one run. Handles are created once
 // (get-or-create, so independent instrumentation sites can share a metric
 // by name) and updated lock-free on the hot path; Snapshot produces a
@@ -74,6 +108,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
 	help     map[string]string
 	names    []string // registration-complete name list, sorted lazily
 }
@@ -84,6 +119,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*Sketch),
 		help:     make(map[string]string),
 	}
 }
@@ -110,7 +146,8 @@ func (r *Registry) Counter(name, help string) *Counter {
 	}
 	_, g := r.gauges[name]
 	_, h := r.hists[name]
-	r.register(name, help, g || h)
+	_, s := r.sketches[name]
+	r.register(name, help, g || h || s)
 	c := &Counter{}
 	r.counters[name] = c
 	return c
@@ -125,7 +162,8 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	}
 	_, c := r.counters[name]
 	_, h := r.hists[name]
-	r.register(name, help, c || h)
+	_, s := r.sketches[name]
+	r.register(name, help, c || h || s)
 	g := &Gauge{}
 	r.gauges[name] = g
 	return g
@@ -141,10 +179,31 @@ func (r *Registry) Histogram(name, help string, base float64) *Histogram {
 	}
 	_, c := r.counters[name]
 	_, g := r.gauges[name]
-	r.register(name, help, c || g)
+	_, s := r.sketches[name]
+	r.register(name, help, c || g || s)
 	h := &Histogram{h: metrics.NewHistogram(base)}
 	r.hists[name] = h
 	return h
+}
+
+// Sketch returns the quantile sketch registered under name, creating it with
+// the given relative accuracy alpha on first use. Name may carry a Prometheus
+// label set (`asets_window_tardiness{window="0003",class="heavy"}`) — the
+// exporter splits base name and labels apart, which is how the span layer
+// encodes one sketch per (window, class, mode) cell.
+func (r *Registry) Sketch(name, help string, alpha float64) *Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sketches[name]; ok {
+		return s
+	}
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	r.register(name, help, c || g || h)
+	s := &Sketch{s: metrics.NewSketch(alpha)}
+	r.sketches[name] = s
+	return s
 }
 
 // CounterValue is one counter in a snapshot.
@@ -173,12 +232,30 @@ type HistogramValue struct {
 	Buckets []metrics.Bucket
 }
 
+// QuantileValue is one reported percentile of a sketch snapshot.
+type QuantileValue struct {
+	Q     float64
+	Value float64
+}
+
+// SketchValue is one quantile sketch in a snapshot, carrying the standard
+// p50/p95/p99 trio plus count/sum/max.
+type SketchValue struct {
+	Name      string
+	Help      string
+	Count     int64
+	Sum       float64
+	Max       float64
+	Quantiles []QuantileValue
+}
+
 // Snapshot is a deterministic point-in-time view of a registry: every
 // section sorted by metric name.
 type Snapshot struct {
 	Counters   []CounterValue
 	Gauges     []GaugeValue
 	Histograms []HistogramValue
+	Sketches   []SketchValue
 }
 
 // Snapshot captures every metric. The result is identical for identical
@@ -199,6 +276,10 @@ func (r *Registry) Snapshot() Snapshot {
 			hv := h.snapshot()
 			hv.Name, hv.Help = name, help
 			snap.Histograms = append(snap.Histograms, hv)
+		} else if s, ok := r.sketches[name]; ok {
+			sv := s.snapshot()
+			sv.Name, sv.Help = name, help
+			snap.Sketches = append(snap.Sketches, sv)
 		}
 	}
 	r.mu.Unlock()

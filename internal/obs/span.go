@@ -1,0 +1,520 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// This file builds per-transaction causal spans out of the flat decision
+// event stream: a SpanBuilder is a Sink that folds
+// arrival/dispatch/preempt/completion/abort/restart/stall/shed events into
+// one Span per transaction, with typed segments tiling the transaction's
+// lifetime, parent/child links from the workflow DAG, and a tardiness
+// attribution that sums bit-exactly to the span's response time (see the
+// Attribution invariant below and docs/OBSERVABILITY.md).
+
+// SegmentKind classifies one stretch of a transaction's lifetime.
+type SegmentKind int
+
+const (
+	// SegQueued — waiting in the ready queue for its first (or a
+	// post-restart) dispatch.
+	SegQueued SegmentKind = iota
+	// SegRunning — checked out to a server, receiving service.
+	SegRunning
+	// SegPreempted — set aside unfinished by a scheduling decision, waiting
+	// to be re-dispatched.
+	SegPreempted
+	// SegStalled — waiting out a backend stall/crash outage window.
+	SegStalled
+	// SegBackoff — aborted, waiting for its retry instant.
+	SegBackoff
+)
+
+// String returns the stable wire name of the segment kind.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegQueued:
+		return "queued"
+	case SegRunning:
+		return "running"
+	case SegPreempted:
+		return "preempted"
+	case SegStalled:
+		return "stalled"
+	case SegBackoff:
+		return "backoff"
+	default:
+		panic(fmt.Sprintf("obs: unknown segment kind %d", int(k)))
+	}
+}
+
+// Segment is one typed stretch of a span. Segments tile [Arrival, Finish]:
+// each segment's End is the exact float the next segment's Start holds.
+type Segment struct {
+	Kind  SegmentKind
+	Start float64
+	End   float64
+}
+
+// Attribution breaks a completed span's response time down by cause: time
+// spent waiting for first service (Queued), receiving service (Service),
+// waiting after a preemption (Preempted), waiting out outage windows
+// (Stalled) and waiting out abort backoffs (Backoff). Each category is the
+// time-order fold of its segments' durations, so the breakdown is a pure
+// function of the segment list.
+type Attribution struct {
+	Queued    float64
+	Service   float64
+	Preempted float64
+	Stalled   float64
+	Backoff   float64
+}
+
+// Sum adds the categories in their fixed declaration order. Span.Response is
+// defined as exactly this fold, which is what makes the "attribution sums to
+// response time" invariant bit-exact rather than merely approximate: float
+// addition is not associative, so the definition pins one association.
+func (a Attribution) Sum() float64 {
+	return a.Queued + a.Service + a.Preempted + a.Stalled + a.Backoff
+}
+
+// Span is the lifecycle record of one transaction, folded from the decision
+// event stream.
+type Span struct {
+	// Txn identifies the transaction; Workflow is its primary scheduling
+	// entity (the lowest-ID workflow containing it), -1 when unknown.
+	Txn      txn.ID
+	Workflow int
+	// Parents are the transaction's direct dependencies; Children the
+	// transactions that directly depend on it (the causal DAG edges).
+	Parents  []txn.ID
+	Children []txn.ID
+	// Weight is w_i; Class its weight class (light/medium/heavy); Mode the
+	// scheduler mode ("edf" or "hdf") of the primary workflow at completion.
+	Weight float64
+	Class  string
+	Mode   string
+	// Arrival, Finish and Deadline are simulated-time instants; Finish is
+	// the shed instant for shed spans.
+	Arrival  float64
+	Finish   float64
+	Deadline float64
+	// Response is the attribution fold (see Attribution.Sum); Tardiness the
+	// completion event's tardiness; Slowdown Response over service length.
+	Response  float64
+	Tardiness float64
+	Slowdown  float64
+	// Restarts counts post-abort re-queues, Preempts scheduling
+	// preemptions (crash losses count as restarts, not preemptions).
+	Restarts int
+	Preempts int
+	// Shed marks an admission rejection; Completed a finished transaction.
+	Shed      bool
+	Completed bool
+	Segments  []Segment
+	Attr      Attribution
+}
+
+// MarshalJSON renders the span as one flat JSON object with a fixed field
+// order and shortest round-trip floats, so serialized span streams are
+// byte-stable across runs (the same contract as Event.MarshalJSON).
+func (s Span) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 512)
+	b = append(b, `{"txn":`...)
+	b = strconv.AppendInt(b, int64(s.Txn), 10)
+	b = append(b, `,"wf":`...)
+	b = strconv.AppendInt(b, int64(s.Workflow), 10)
+	b = append(b, `,"class":`...)
+	b = strconv.AppendQuote(b, s.Class)
+	b = append(b, `,"mode":`...)
+	b = strconv.AppendQuote(b, s.Mode)
+	b = append(b, `,"weight":`...)
+	b = strconv.AppendFloat(b, s.Weight, 'g', -1, 64)
+	b = append(b, `,"arrival":`...)
+	b = strconv.AppendFloat(b, s.Arrival, 'g', -1, 64)
+	b = append(b, `,"finish":`...)
+	b = strconv.AppendFloat(b, s.Finish, 'g', -1, 64)
+	b = append(b, `,"deadline":`...)
+	b = strconv.AppendFloat(b, s.Deadline, 'g', -1, 64)
+	b = append(b, `,"response":`...)
+	b = strconv.AppendFloat(b, s.Response, 'g', -1, 64)
+	b = append(b, `,"tardiness":`...)
+	b = strconv.AppendFloat(b, s.Tardiness, 'g', -1, 64)
+	b = append(b, `,"slowdown":`...)
+	b = strconv.AppendFloat(b, s.Slowdown, 'g', -1, 64)
+	b = append(b, `,"restarts":`...)
+	b = strconv.AppendInt(b, int64(s.Restarts), 10)
+	b = append(b, `,"preempts":`...)
+	b = strconv.AppendInt(b, int64(s.Preempts), 10)
+	b = append(b, `,"shed":`...)
+	b = strconv.AppendBool(b, s.Shed)
+	b = append(b, `,"completed":`...)
+	b = strconv.AppendBool(b, s.Completed)
+	b = append(b, `,"parents":`...)
+	b = appendIDs(b, s.Parents)
+	b = append(b, `,"children":`...)
+	b = appendIDs(b, s.Children)
+	b = append(b, `,"segments":[`...)
+	for i, seg := range s.Segments {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"kind":"`...)
+		b = append(b, seg.Kind.String()...)
+		b = append(b, `","start":`...)
+		b = strconv.AppendFloat(b, seg.Start, 'g', -1, 64)
+		b = append(b, `,"end":`...)
+		b = strconv.AppendFloat(b, seg.End, 'g', -1, 64)
+		b = append(b, '}')
+	}
+	b = append(b, `],"attr":{"queued":`...)
+	b = strconv.AppendFloat(b, s.Attr.Queued, 'g', -1, 64)
+	b = append(b, `,"service":`...)
+	b = strconv.AppendFloat(b, s.Attr.Service, 'g', -1, 64)
+	b = append(b, `,"preempted":`...)
+	b = strconv.AppendFloat(b, s.Attr.Preempted, 'g', -1, 64)
+	b = append(b, `,"stalled":`...)
+	b = strconv.AppendFloat(b, s.Attr.Stalled, 'g', -1, 64)
+	b = append(b, `,"backoff":`...)
+	b = strconv.AppendFloat(b, s.Attr.Backoff, 'g', -1, 64)
+	b = append(b, `}}`...)
+	return b, nil
+}
+
+func appendIDs(b []byte, ids []txn.ID) []byte {
+	b = append(b, '[')
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(id), 10)
+	}
+	return append(b, ']')
+}
+
+// WriteSpans serializes spans as JSON Lines in the given order.
+func WriteSpans(w io.Writer, spans []*Span) error {
+	for _, s := range spans {
+		b, err := s.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metric names of the span layer. The windowed series carry a Prometheus
+// label set inside the registered name — see WindowMetric.
+const (
+	MetricSpanTardiness = "asets_span_tardiness"
+	MetricSpanResponse  = "asets_span_response"
+	MetricSpanSlowdown  = "asets_span_slowdown"
+)
+
+// WindowMetric returns the registered name of a windowed sketch cell, e.g.
+// `asets_window_tardiness{window="0003",class="heavy",mode="edf"}`. The
+// window index is zero-padded so registry name sorting orders cells by time.
+func WindowMetric(kind string, window int, class, mode string) string {
+	return fmt.Sprintf("asets_window_%s{window=%q,class=%q,mode=%q}",
+		kind, fmt.Sprintf("%04d", window), class, mode)
+}
+
+// WeightClass buckets a transaction weight into the three SLA classes the
+// windowed exports are keyed by (paper weights are integers in [1, 10]).
+func WeightClass(w float64) string {
+	switch {
+	case w < 4:
+		return "light"
+	case w < 8:
+		return "medium"
+	default:
+		return "heavy"
+	}
+}
+
+// SpanOptions configures a SpanBuilder.
+type SpanOptions struct {
+	// Metrics, when non-nil, receives span observations: total sketches
+	// (MetricSpan*) plus, when Window > 0, tumbling-window sketches per
+	// weight class and scheduler mode (WindowMetric names).
+	Metrics *Registry
+	// Window is the tumbling-window width in simulated time; 0 disables
+	// the windowed series.
+	Window float64
+	// Alpha is the sketch relative accuracy (default 0.01).
+	Alpha float64
+	// Keep bounds the number of retained closed spans (0 = unlimited); the
+	// server sets it so long replays don't grow without bound.
+	Keep int
+}
+
+// spanState is the in-flight state machine of one open span.
+type spanState struct {
+	span     *Span
+	cur      SegmentKind
+	curStart float64
+}
+
+// SpanBuilder folds the decision event stream into spans. It is a Sink; like
+// Ring it locks internally, so the single emitting goroutine can run while
+// HTTP handlers snapshot. Events must arrive in stream order (the order
+// every in-repo emitter produces).
+//
+// Determinism: spans are a pure fold of the event stream plus the immutable
+// workload set, so a fixed-seed run yields a byte-identical span stream.
+type SpanBuilder struct {
+	mu       sync.Mutex
+	set      *txn.Set
+	opts     SpanOptions
+	wfOf     map[txn.ID]int
+	mode     map[int]string
+	open     map[txn.ID]*spanState
+	done     []*Span
+	total    uint64
+	stallAt  float64 // time of the most recent stall window entry
+	hasStall bool
+}
+
+// NewSpanBuilder returns a builder for transactions of set. The set provides
+// the causal DAG (Deps/Dependents), weights and service lengths; it must be
+// the same set the run executes (the runner's per-job clone is fine — spans
+// only read immutable workload fields).
+func NewSpanBuilder(set *txn.Set, opts SpanOptions) *SpanBuilder {
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.01
+	}
+	b := &SpanBuilder{
+		set:  set,
+		opts: opts,
+		wfOf: make(map[txn.ID]int, set.Len()),
+		mode: make(map[int]string),
+		open: make(map[txn.ID]*spanState),
+	}
+	for _, wf := range txn.BuildWorkflows(set) {
+		for _, id := range wf.Members {
+			if _, taken := b.wfOf[id]; !taken {
+				b.wfOf[id] = wf.ID
+			}
+		}
+	}
+	return b
+}
+
+// Emit implements Sink.
+func (b *SpanBuilder) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch ev.Kind {
+	case KindArrival:
+		b.openSpan(ev)
+	case KindDispatch:
+		if st, ok := b.open[ev.Txn]; ok && st.cur != SegRunning {
+			b.closeSeg(st, ev.Time)
+			st.cur = SegRunning
+		}
+	case KindPreempt:
+		// Only a running transaction can be preempted; a preempt for a
+		// queued one is the scheduler re-learning about a restarted or
+		// crash-lost transaction, which changes no segment.
+		if st, ok := b.open[ev.Txn]; ok && st.cur == SegRunning {
+			b.closeSeg(st, ev.Time)
+			if b.hasStall && b.stallAt == ev.Time {
+				// The outage window opening at this exact instant is what
+				// evicted the transaction.
+				st.cur = SegStalled
+			} else {
+				st.cur = SegPreempted
+				st.span.Preempts++
+			}
+		}
+	case KindCompletion:
+		if st, ok := b.open[ev.Txn]; ok {
+			b.closeSeg(st, ev.Time)
+			b.finalize(st, ev)
+		}
+	case KindAbort:
+		if st, ok := b.open[ev.Txn]; ok && st.cur == SegRunning {
+			b.closeSeg(st, ev.Time)
+			if ev.Detail == "crash" {
+				// In-flight work destroyed by a crash window: the wait is
+				// the outage's fault, and the re-queue happens via the
+				// no-op preempt that follows.
+				st.cur = SegStalled
+			} else {
+				st.cur = SegBackoff
+			}
+		}
+	case KindRestart:
+		if st, ok := b.open[ev.Txn]; ok && st.cur == SegBackoff {
+			b.closeSeg(st, ev.Time)
+			st.cur = SegQueued
+			st.span.Restarts++
+		}
+	case KindStall:
+		b.stallAt, b.hasStall = ev.Time, true
+	case KindShed:
+		st, ok := b.open[ev.Txn]
+		if !ok {
+			b.openSpan(ev)
+			st = b.open[ev.Txn]
+		}
+		b.closeSeg(st, ev.Time)
+		st.span.Shed = true
+		b.finalize(st, ev)
+	case KindModeSwitch:
+		if i := strings.Index(ev.Detail, "->"); i >= 0 && ev.Workflow >= 0 {
+			b.mode[ev.Workflow] = ev.Detail[i+2:]
+		}
+	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit:
+		// No segment transitions: misses ride the completion event's
+		// tardiness, aging precedes an ordinary dispatch, and degradation
+		// is a controller-level state.
+	default:
+		panic(fmt.Sprintf("obs: span builder: unknown event kind %d", int(ev.Kind)))
+	}
+}
+
+// openSpan starts a span at ev (an arrival, or a shed of a transaction that
+// never reached the scheduler).
+func (b *SpanBuilder) openSpan(ev Event) {
+	if _, dup := b.open[ev.Txn]; dup {
+		return
+	}
+	sp := &Span{
+		Txn: ev.Txn, Workflow: -1,
+		Arrival: ev.Time, Deadline: ev.Deadline,
+		Class: "light", Mode: "edf",
+	}
+	if wf, ok := b.wfOf[ev.Txn]; ok {
+		sp.Workflow = wf
+	}
+	if t := b.set.ByID(ev.Txn); t != nil {
+		sp.Weight = t.Weight
+		sp.Class = WeightClass(t.Weight)
+		sp.Parents = append([]txn.ID(nil), t.Deps...)
+		if int(ev.Txn) < len(b.set.Dependents) {
+			sp.Children = append([]txn.ID(nil), b.set.Dependents[ev.Txn]...)
+		}
+	}
+	b.open[ev.Txn] = &spanState{span: sp, cur: SegQueued, curStart: ev.Time}
+}
+
+// closeSeg ends the current segment at t, dropping zero-length segments
+// (same-instant transitions like an arrival dispatched immediately).
+func (b *SpanBuilder) closeSeg(st *spanState, t float64) {
+	if t > st.curStart {
+		st.span.Segments = append(st.span.Segments, Segment{Kind: st.cur, Start: st.curStart, End: t})
+	}
+	st.curStart = t
+}
+
+// finalize closes the span at a completion or shed event: computes the
+// attribution fold, derived fields and sketch observations, and moves the
+// span to the done list.
+func (b *SpanBuilder) finalize(st *spanState, ev Event) {
+	sp := st.span
+	sp.Finish = ev.Time
+	if m, ok := b.mode[sp.Workflow]; ok {
+		sp.Mode = m
+	}
+	// The attribution is the time-order per-category fold of segment
+	// durations, and Response is the category-order sum of the attribution.
+	// Both are pure functions of the segment list, so re-deriving either
+	// from the serialized segments reproduces them bit for bit.
+	for _, seg := range sp.Segments {
+		d := seg.End - seg.Start
+		switch seg.Kind {
+		case SegQueued:
+			sp.Attr.Queued += d
+		case SegRunning:
+			sp.Attr.Service += d
+		case SegPreempted:
+			sp.Attr.Preempted += d
+		case SegStalled:
+			sp.Attr.Stalled += d
+		case SegBackoff:
+			sp.Attr.Backoff += d
+		default:
+			panic(fmt.Sprintf("obs: span builder: unknown segment kind %d", int(seg.Kind)))
+		}
+	}
+	sp.Response = sp.Attr.Sum()
+	if !sp.Shed {
+		sp.Completed = true
+		sp.Tardiness = ev.Tardiness
+		if t := b.set.ByID(sp.Txn); t != nil && t.Length > 0 {
+			sp.Slowdown = sp.Response / t.Length
+		}
+		b.observe(sp)
+	}
+	delete(b.open, sp.Txn)
+	b.done = append(b.done, sp)
+	b.total++
+	if b.opts.Keep > 0 && len(b.done) > 2*b.opts.Keep {
+		b.done = append(b.done[:0:0], b.done[len(b.done)-b.opts.Keep:]...)
+	}
+}
+
+// observe feeds one completed span into the registry sketches.
+func (b *SpanBuilder) observe(sp *Span) {
+	reg := b.opts.Metrics
+	if reg == nil {
+		return
+	}
+	alpha := b.opts.Alpha
+	reg.Sketch(MetricSpanTardiness, "per-span tardiness quantile sketch", alpha).Observe(sp.Tardiness)
+	reg.Sketch(MetricSpanResponse, "per-span response time quantile sketch", alpha).Observe(sp.Response)
+	reg.Sketch(MetricSpanSlowdown, "per-span slowdown quantile sketch", alpha).Observe(sp.Slowdown)
+	if b.opts.Window <= 0 {
+		return
+	}
+	win := int(sp.Finish / b.opts.Window)
+	reg.Sketch(WindowMetric("tardiness", win, sp.Class, sp.Mode),
+		"windowed tardiness quantile sketch", alpha).Observe(sp.Tardiness)
+	reg.Sketch(WindowMetric("response", win, sp.Class, sp.Mode),
+		"windowed response time quantile sketch", alpha).Observe(sp.Response)
+	reg.Sketch(WindowMetric("slowdown", win, sp.Class, sp.Mode),
+		"windowed slowdown quantile sketch", alpha).Observe(sp.Slowdown)
+}
+
+// Spans returns the retained closed spans in close order (completion or shed
+// instant). The returned slice is fresh; the spans are shared and must be
+// treated as read-only.
+func (b *SpanBuilder) Spans() []*Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*Span(nil), b.done...)
+}
+
+// Snapshot returns up to limit closed spans, newest first, as value copies —
+// the backing store of the server's /api/spans endpoint. limit <= 0 means
+// every retained span.
+func (b *SpanBuilder) Snapshot(limit int) []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.done)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Span, 0, limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, *b.done[n-1-i])
+	}
+	return out
+}
+
+// Total returns the number of spans ever closed (not just retained).
+func (b *SpanBuilder) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// spanTestSet builds a four-transaction workload: 0 <- 1 (1 depends on 0),
+// plus independent 2 and 3, with weights spanning the three classes.
+func spanTestSet(t *testing.T) *txn.Set {
+	t.Helper()
+	set, err := txn.NewSet([]*txn.Transaction{
+		{ID: 0, Arrival: 0, Deadline: 10, Length: 4, Weight: 9, Remaining: 4},
+		{ID: 1, Arrival: 1, Deadline: 20, Length: 3, Weight: 5, Remaining: 3, Deps: []txn.ID{0}},
+		{ID: 2, Arrival: 2, Deadline: 12, Length: 2, Weight: 1, Remaining: 2},
+		{ID: 3, Arrival: 3, Deadline: 30, Length: 5, Weight: 2, Remaining: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// emitAll replays events through the builder in order.
+func emitAll(b *SpanBuilder, evs []Event) {
+	for _, ev := range evs {
+		b.Emit(ev)
+	}
+}
+
+// reattr recomputes the attribution fold from the serialized segments — the
+// bit-exactness oracle used across the span tests.
+func reattr(sp Span) Attribution {
+	var a Attribution
+	for _, seg := range sp.Segments {
+		d := seg.End - seg.Start
+		switch seg.Kind {
+		case SegQueued:
+			a.Queued += d
+		case SegRunning:
+			a.Service += d
+		case SegPreempted:
+			a.Preempted += d
+		case SegStalled:
+			a.Stalled += d
+		case SegBackoff:
+			a.Backoff += d
+		default:
+			panic("unknown segment kind")
+		}
+	}
+	return a
+}
+
+// checkSpanInvariants asserts the structural guarantees every closed span
+// carries: segments tile [Arrival, Finish] with exact float boundary
+// equality, the attribution equals the per-category fold of the segments,
+// and Response is bit-identical to the category-order attribution sum.
+func checkSpanInvariants(t *testing.T, sp Span) {
+	t.Helper()
+	if len(sp.Segments) > 0 {
+		if sp.Segments[0].Start != sp.Arrival {
+			t.Errorf("txn %d: first segment starts at %v, arrival %v", sp.Txn, sp.Segments[0].Start, sp.Arrival)
+		}
+		if last := sp.Segments[len(sp.Segments)-1]; last.End != sp.Finish {
+			t.Errorf("txn %d: last segment ends at %v, finish %v", sp.Txn, last.End, sp.Finish)
+		}
+		for i := 1; i < len(sp.Segments); i++ {
+			if sp.Segments[i].Start != sp.Segments[i-1].End {
+				t.Errorf("txn %d: segment %d starts at %v, previous ends at %v",
+					sp.Txn, i, sp.Segments[i].Start, sp.Segments[i-1].End)
+			}
+		}
+		for i, seg := range sp.Segments {
+			if seg.End <= seg.Start {
+				t.Errorf("txn %d: segment %d is empty or inverted: %+v", sp.Txn, i, seg)
+			}
+		}
+	}
+	if got := reattr(sp); got != sp.Attr {
+		t.Errorf("txn %d: attribution %+v, refold %+v", sp.Txn, sp.Attr, got)
+	}
+	if sum := sp.Attr.Sum(); sum != sp.Response {
+		t.Errorf("txn %d: attribution sum %v != response %v", sp.Txn, sum, sp.Response)
+	}
+}
+
+func TestSpanBuilderPlainLifecycle(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0.5, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 2, Kind: KindPreempt, Txn: 0, Workflow: -1},
+		{Time: 3, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 5.5, Kind: KindCompletion, Txn: 0, Workflow: -1, Tardiness: 0},
+	})
+	spans := b.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := *spans[0]
+	checkSpanInvariants(t, sp)
+	want := []Segment{
+		{SegQueued, 0, 0.5},
+		{SegRunning, 0.5, 2},
+		{SegPreempted, 2, 3},
+		{SegRunning, 3, 5.5},
+	}
+	if !reflect.DeepEqual(sp.Segments, want) {
+		t.Fatalf("segments %+v, want %+v", sp.Segments, want)
+	}
+	if !sp.Completed || sp.Shed || sp.Preempts != 1 || sp.Restarts != 0 {
+		t.Fatalf("flags wrong: %+v", sp)
+	}
+	if sp.Attr.Queued != 0.5 || sp.Attr.Service != 4 || sp.Attr.Preempted != 1 {
+		t.Fatalf("attribution %+v", sp.Attr)
+	}
+	if sp.Response != 5.5 || sp.Slowdown != 5.5/4 {
+		t.Fatalf("response %v slowdown %v", sp.Response, sp.Slowdown)
+	}
+	if sp.Class != "heavy" || sp.Mode != "edf" {
+		t.Fatalf("class %q mode %q", sp.Class, sp.Mode)
+	}
+}
+
+func TestSpanBuilderCausalLinks(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindCompletion, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindArrival, Txn: 1, Workflow: -1, Deadline: 20},
+		{Time: 4, Kind: KindDispatch, Txn: 1, Workflow: -1},
+		{Time: 7, Kind: KindCompletion, Txn: 1, Workflow: -1},
+	})
+	spans := b.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	root, child := *spans[0], *spans[1]
+	if len(root.Parents) != 0 || !reflect.DeepEqual(root.Children, []txn.ID{1}) {
+		t.Fatalf("root links parents=%v children=%v", root.Parents, root.Children)
+	}
+	if !reflect.DeepEqual(child.Parents, []txn.ID{0}) || len(child.Children) != 0 {
+		t.Fatalf("child links parents=%v children=%v", child.Parents, child.Children)
+	}
+	if root.Workflow != child.Workflow {
+		t.Fatalf("root wf %d != child wf %d (same workflow closure)", root.Workflow, child.Workflow)
+	}
+	// Same-instant transitions produce no zero-length segments.
+	if len(root.Segments) != 1 || root.Segments[0].Kind != SegRunning {
+		t.Fatalf("root segments %+v", root.Segments)
+	}
+	checkSpanInvariants(t, root)
+	checkSpanInvariants(t, child)
+}
+
+func TestSpanBuilderAbortBackoffRestart(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{})
+	emitAll(b, []Event{
+		{Time: 2, Kind: KindArrival, Txn: 2, Workflow: -1, Deadline: 12},
+		{Time: 2, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		// Completion attempt aborts at 4; backoff until 6.
+		{Time: 4, Kind: KindAbort, Txn: 2, Workflow: -1, Detail: "abort", Remaining: 2},
+		{Time: 6, Kind: KindRestart, Txn: 2, Workflow: -1},
+		// The scheduler re-learns about it via a preempt — not a segment
+		// transition for a queued transaction.
+		{Time: 6, Kind: KindPreempt, Txn: 2, Workflow: -1},
+		{Time: 7, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 9, Kind: KindCompletion, Txn: 2, Workflow: -1, Tardiness: 0},
+	})
+	spans := b.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := *spans[0]
+	checkSpanInvariants(t, sp)
+	want := []Segment{
+		{SegRunning, 2, 4},
+		{SegBackoff, 4, 6},
+		{SegQueued, 6, 7},
+		{SegRunning, 7, 9},
+	}
+	if !reflect.DeepEqual(sp.Segments, want) {
+		t.Fatalf("segments %+v, want %+v", sp.Segments, want)
+	}
+	if sp.Restarts != 1 || sp.Preempts != 0 {
+		t.Fatalf("restarts %d preempts %d", sp.Restarts, sp.Preempts)
+	}
+	if sp.Attr.Backoff != 2 || sp.Attr.Service != 4 || sp.Attr.Queued != 1 {
+		t.Fatalf("attribution %+v", sp.Attr)
+	}
+}
+
+func TestSpanBuilderStallAndCrash(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 2, Kind: KindArrival, Txn: 2, Workflow: -1, Deadline: 12},
+		{Time: 2, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		// A crash window opens at 3: the stall event precedes the per-txn
+		// fallout. Txn 2 loses its in-flight work (crash abort), txn 0 is
+		// merely evicted by the same-instant preempt.
+		{Time: 3, Kind: KindStall, Txn: -1, Workflow: -1, Remaining: 2, Detail: "crash"},
+		{Time: 3, Kind: KindAbort, Txn: 2, Workflow: -1, Detail: "crash"},
+		{Time: 3, Kind: KindPreempt, Txn: 2, Workflow: -1},
+		{Time: 3, Kind: KindPreempt, Txn: 0, Workflow: -1},
+		// Window ends at 5; both re-dispatch.
+		{Time: 5, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 7, Kind: KindCompletion, Txn: 0, Workflow: -1},
+		{Time: 7, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 9, Kind: KindCompletion, Txn: 2, Workflow: -1, Tardiness: 1},
+	})
+	spans := b.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	evicted, crashed := *spans[0], *spans[1]
+	checkSpanInvariants(t, evicted)
+	checkSpanInvariants(t, crashed)
+	wantEvicted := []Segment{
+		{SegRunning, 0, 3},
+		{SegStalled, 3, 5},
+		{SegRunning, 5, 7},
+	}
+	if !reflect.DeepEqual(evicted.Segments, wantEvicted) {
+		t.Fatalf("evicted segments %+v, want %+v", evicted.Segments, wantEvicted)
+	}
+	if evicted.Preempts != 0 {
+		t.Fatalf("stall eviction counted as preemption: %+v", evicted)
+	}
+	wantCrashed := []Segment{
+		{SegRunning, 2, 3},
+		{SegStalled, 3, 7},
+		{SegRunning, 7, 9},
+	}
+	if !reflect.DeepEqual(crashed.Segments, wantCrashed) {
+		t.Fatalf("crashed segments %+v, want %+v", crashed.Segments, wantCrashed)
+	}
+	if crashed.Tardiness != 1 {
+		t.Fatalf("tardiness %v", crashed.Tardiness)
+	}
+}
+
+func TestSpanBuilderShed(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{Metrics: NewRegistry()})
+	b.Emit(Event{Time: 3, Kind: KindShed, Txn: 3, Workflow: -1, Deadline: 30, Detail: "queue"})
+	spans := b.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := *spans[0]
+	if !sp.Shed || sp.Completed || len(sp.Segments) != 0 || sp.Response != 0 {
+		t.Fatalf("shed span wrong: %+v", sp)
+	}
+	// Shed spans must not feed the SLA sketches.
+	if snap := b.opts.Metrics.Snapshot(); len(snap.Sketches) != 0 {
+		t.Fatalf("shed span observed into sketches: %+v", snap.Sketches)
+	}
+}
+
+func TestSpanBuilderModeTracking(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{})
+	wf := 0 // workflow of txns 0 and 1
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 1, Kind: KindModeSwitch, Txn: -1, Workflow: wf, Detail: "edf->hdf"},
+		{Time: 4, Kind: KindCompletion, Txn: 0, Workflow: -1},
+	})
+	sp := *b.Spans()[0]
+	if sp.Mode != "hdf" {
+		t.Fatalf("mode %q, want hdf after mode switch", sp.Mode)
+	}
+}
+
+func TestSpanBuilderWindowedSketches(t *testing.T) {
+	set := spanTestSet(t)
+	reg := NewRegistry()
+	b := NewSpanBuilder(set, SpanOptions{Metrics: reg, Window: 5})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindCompletion, Txn: 0, Workflow: -1, Tardiness: 0},
+		{Time: 2, Kind: KindArrival, Txn: 2, Workflow: -1, Deadline: 12},
+		{Time: 4, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 13, Kind: KindCompletion, Txn: 2, Workflow: -1, Tardiness: 1},
+	})
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Sketches))
+	for _, s := range snap.Sketches {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, "\n")
+	for _, want := range []string{
+		MetricSpanTardiness, MetricSpanResponse, MetricSpanSlowdown,
+		WindowMetric("tardiness", 0, "heavy", "edf"),
+		WindowMetric("tardiness", 2, "light", "edf"),
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing sketch %q in:\n%s", want, joined)
+		}
+	}
+	// The totals sketch saw both completions.
+	for _, s := range snap.Sketches {
+		if s.Name == MetricSpanResponse && s.Count != 2 {
+			t.Errorf("%s count %d, want 2", s.Name, s.Count)
+		}
+	}
+	// Windowed cells land on /metrics as labeled summaries.
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `asets_window_tardiness{window="0002",class="light",mode="edf",quantile="0.95"}`) {
+		t.Errorf("windowed summary sample missing from:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE asets_window_tardiness summary") {
+		t.Errorf("summary TYPE header missing from:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE asets_window_tardiness summary") != 1 {
+		t.Errorf("summary TYPE header not deduplicated across windows:\n%s", out)
+	}
+}
+
+func TestSpanSnapshotAndKeep(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{Keep: 1})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindCompletion, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindArrival, Txn: 2, Workflow: -1, Deadline: 12},
+		{Time: 4, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 6, Kind: KindCompletion, Txn: 2, Workflow: -1},
+		{Time: 6, Kind: KindArrival, Txn: 3, Workflow: -1, Deadline: 30},
+		{Time: 6, Kind: KindDispatch, Txn: 3, Workflow: -1},
+		{Time: 11, Kind: KindCompletion, Txn: 3, Workflow: -1},
+	})
+	if b.Total() != 3 {
+		t.Fatalf("total %d, want 3", b.Total())
+	}
+	snap := b.Snapshot(0)
+	if len(snap) == 0 || snap[0].Txn != 3 {
+		t.Fatalf("snapshot not newest-first: %+v", snap)
+	}
+	if len(snap) > 2 {
+		t.Fatalf("keep bound not applied: %d spans retained", len(snap))
+	}
+	if one := b.Snapshot(1); len(one) != 1 || one[0].Txn != 3 {
+		t.Fatalf("limit 1 snapshot wrong: %+v", one)
+	}
+}
+
+func TestSpanMarshalByteStable(t *testing.T) {
+	set := spanTestSet(t)
+	run := func() []byte {
+		b := NewSpanBuilder(set, SpanOptions{})
+		emitAll(b, []Event{
+			{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+			{Time: 0.25, Kind: KindDispatch, Txn: 0, Workflow: -1},
+			{Time: 2, Kind: KindPreempt, Txn: 0, Workflow: -1},
+			{Time: 2.5, Kind: KindDispatch, Txn: 0, Workflow: -1},
+			{Time: 4.75, Kind: KindCompletion, Txn: 0, Workflow: -1, Tardiness: 0},
+		})
+		var buf bytes.Buffer
+		if err := WriteSpans(&buf, b.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, bts := run(), run()
+	if !bytes.Equal(a, bts) {
+		t.Fatalf("span JSONL not byte-stable:\n%s\nvs\n%s", a, bts)
+	}
+	line := string(a)
+	if !strings.HasPrefix(line, `{"txn":0,"wf":0,"class":"heavy","mode":"edf","weight":9,`) {
+		t.Fatalf("unexpected field order: %s", line)
+	}
+	if !strings.Contains(line, `"segments":[{"kind":"queued","start":0,"end":0.25}`) {
+		t.Fatalf("segment encoding wrong: %s", line)
+	}
+}

@@ -27,6 +27,8 @@ type timelineEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	Scope string         `json:"s,omitempty"`
+	ID    int            `json:"id,omitempty"`
+	Bind  string         `json:"bp,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Ts    float64        `json:"ts"`
@@ -46,6 +48,16 @@ func simToTs(t float64) float64 { return t * 1000 }
 // WriteTimeline renders the recorded execution slices and the decision
 // event stream as one loadable timeline. Either input may be empty.
 func WriteTimeline(w io.Writer, slices []trace.Slice, events []Event) error {
+	return WriteTimelineFlows(w, slices, events, nil)
+}
+
+// WriteTimelineFlows renders the timeline and, when spans are given,
+// additionally connects workflow parent→child pairs with Perfetto flow
+// events: a flow starts ("s") where the parent's last execution slice ends
+// and finishes ("f") where the child's first slice begins, so tardiness
+// propagating through a workflow DAG is visible as arrows across server
+// lanes. Spans whose endpoints have no recorded slices contribute no flows.
+func WriteTimelineFlows(w io.Writer, slices []trace.Slice, events []Event, spans []*Span) error {
 	ordered := make([]trace.Slice, len(slices))
 	copy(ordered, slices)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -103,6 +115,49 @@ func WriteTimeline(w io.Writer, slices []trace.Slice, events []Event) error {
 			Dur:   simToTs(s.Duration()),
 			Args:  map[string]any{"txn": int(s.ID)},
 		})
+	}
+
+	// Flow events bind to slices, so they need each transaction's first and
+	// last slice with its lane.
+	if len(spans) > 0 && len(ordered) > 0 {
+		type endpoint struct {
+			lane int
+			t    float64
+		}
+		first := make(map[int]endpoint, len(ordered))
+		last := make(map[int]endpoint, len(ordered))
+		for i, s := range ordered {
+			id := int(s.ID)
+			if _, seen := first[id]; !seen {
+				first[id] = endpoint{laneOf[i], s.Start}
+			}
+			if e, seen := last[id]; !seen || s.End > e.t {
+				last[id] = endpoint{laneOf[i], s.End}
+			}
+		}
+		flowID := 0
+		for _, sp := range spans {
+			from, ok := last[int(sp.Txn)]
+			if !ok {
+				continue
+			}
+			for _, child := range sp.Children {
+				to, ok := first[int(child)]
+				if !ok {
+					continue
+				}
+				flowID++
+				name := fmt.Sprintf("dep T%d->T%d", int(sp.Txn), int(child))
+				args := map[string]any{"parent": int(sp.Txn), "child": int(child), "wf": sp.Workflow}
+				doc.TraceEvents = append(doc.TraceEvents, timelineEvent{
+					Name: name, Cat: "flow", Phase: "s", ID: flowID,
+					Pid: 1, Tid: from.lane + 1, Ts: simToTs(from.t), Args: args,
+				}, timelineEvent{
+					Name: name, Cat: "flow", Phase: "f", ID: flowID, Bind: "e",
+					Pid: 1, Tid: to.lane + 1, Ts: simToTs(to.t), Args: args,
+				})
+			}
+		}
 	}
 
 	for _, ev := range events {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/txn"
 )
 
 // decodeTimeline parses an export back into its generic JSON form.
@@ -133,6 +134,65 @@ func TestWriteTimelineEmpty(t *testing.T) {
 	for _, ev := range evs {
 		if ev["ph"] != "M" {
 			t.Fatalf("unexpected event in empty export: %v", ev)
+		}
+	}
+}
+
+func TestWriteTimelineFlows(t *testing.T) {
+	// T0 runs twice (finishing at 4), then its dependent T1 runs at 2..3.5?
+	// No — flows need the child to start after the parent's last slice, so
+	// use a dedicated layout: T0 at [0,2], T1 at [3,5].
+	slices := []trace.Slice{
+		{ID: 0, Start: 0, End: 2},
+		{ID: 1, Start: 3, End: 5},
+	}
+	spans := []*Span{
+		{Txn: 0, Workflow: 7, Children: []txn.ID{1}},
+		{Txn: 1, Workflow: 7, Parents: []txn.ID{0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineFlows(&buf, slices, nil, spans); err != nil {
+		t.Fatal(err)
+	}
+	_, evs := decodeTimeline(t, buf.Bytes())
+	var start, finish map[string]any
+	for _, ev := range evs {
+		if ev["cat"] == "flow" {
+			switch ev["ph"] {
+			case "s":
+				start = ev
+			case "f":
+				finish = ev
+			}
+		}
+	}
+	if start == nil || finish == nil {
+		t.Fatalf("flow pair missing from export: %s", buf.Bytes())
+	}
+	if start["id"] != finish["id"] {
+		t.Fatalf("flow ids differ: %v vs %v", start["id"], finish["id"])
+	}
+	if start["ts"].(float64) != 2000 || finish["ts"].(float64) != 3000 {
+		t.Fatalf("flow endpoints at %v and %v, want parent end 2000 and child start 3000", start["ts"], finish["ts"])
+	}
+	if finish["bp"] != "e" {
+		t.Fatalf("flow finish lacks bp=e: %v", finish)
+	}
+	if start["name"] != "dep T0->T1" || finish["name"] != "dep T0->T1" {
+		t.Fatalf("flow names %v / %v", start["name"], finish["name"])
+	}
+}
+
+func TestWriteTimelineWithoutSpansHasNoFlows(t *testing.T) {
+	slices, events := sampleInputs()
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, slices, events); err != nil {
+		t.Fatal(err)
+	}
+	_, evs := decodeTimeline(t, buf.Bytes())
+	for _, ev := range evs {
+		if ev["cat"] == "flow" {
+			t.Fatalf("flow event present without spans: %v", ev)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// TestSpanSketchesBitIdenticalAcrossWorkers is the PR's parallel acceptance
+// criterion: a sweep instrumented with per-job span builders and windowed
+// quantile sketches must export byte-identical /metrics text — and identical
+// span JSONL — whether gathered serially or by four workers. It exercises
+// the whole chain: SpanBuilder folding, sketch observation, job-order
+// registry merge (obs.Registry.Merge with the new sketch case) and the
+// Prometheus summary rendering.
+func TestSpanSketchesBitIdenticalAcrossWorkers(t *testing.T) {
+	type cell struct {
+		set *txn.Set
+		mk  func() sched.Scheduler
+	}
+	var cells []cell
+	for _, u := range []float64{0.7, 1.0} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			cfg := workload.Default(u, seed).WithWorkflows(4, 1).WithWeights()
+			cfg.N = 120
+			set := workload.MustGenerate(cfg)
+			cells = append(cells,
+				cell{set, sched.NewEDF},
+				cell{set, func() sched.Scheduler { return core.New() }})
+		}
+	}
+
+	run := func(workers int) (string, string) {
+		jobs := make([]Job, len(cells))
+		builders := make([]*obs.SpanBuilder, len(cells))
+		for i, c := range cells {
+			reg := obs.NewRegistry()
+			sb := obs.NewSpanBuilder(c.set, obs.SpanOptions{Metrics: reg, Window: 25})
+			builders[i] = sb
+			jobs[i] = Job{
+				Set:    c.set,
+				New:    c.mk,
+				Config: sim.Config{Sink: sb, Metrics: reg},
+			}
+		}
+		if _, err := (Pool{Workers: workers}).Run(context.Background(), jobs); err != nil {
+			t.Fatal(err)
+		}
+		merged := obs.NewRegistry()
+		if err := MergeMetrics(merged, jobs); err != nil {
+			t.Fatal(err)
+		}
+		var prom strings.Builder
+		if err := obs.WritePrometheus(&prom, merged); err != nil {
+			t.Fatal(err)
+		}
+		var spans strings.Builder
+		for _, sb := range builders {
+			if err := obs.WriteSpans(&spans, sb.Spans()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return prom.String(), spans.String()
+	}
+
+	serialProm, serialSpans := run(1)
+	if !strings.Contains(serialProm, "# TYPE asets_span_tardiness summary") {
+		t.Fatalf("merged export lacks span sketches:\n%s", serialProm)
+	}
+	if !strings.Contains(serialProm, `asets_window_tardiness{window="`) {
+		t.Fatalf("merged export lacks windowed sketches:\n%s", serialProm)
+	}
+	for _, workers := range []int{2, 4} {
+		prom, spans := run(workers)
+		if prom != serialProm {
+			t.Errorf("workers=%d: merged /metrics text differs from serial", workers)
+		}
+		if spans != serialSpans {
+			t.Errorf("workers=%d: span JSONL differs from serial", workers)
+		}
+	}
+}

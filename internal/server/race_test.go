@@ -19,7 +19,7 @@ func TestHammerConcurrentRequests(t *testing.T) {
 	defer cancel()
 	done := mustStart(t, s, ctx)
 
-	paths := []string{"/", "/api/stats", "/api/recent?limit=5", "/healthz", "/metrics", "/events?limit=10"}
+	paths := []string{"/", "/api/stats", "/api/recent?limit=5", "/healthz", "/metrics", "/events?limit=10", "/api/spans?limit=10"}
 	var wg sync.WaitGroup
 	for i := 0; i < 12; i++ {
 		wg.Add(1)

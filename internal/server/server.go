@@ -13,7 +13,11 @@
 //	GET  /api/workload  the full workload being replayed (JSON)
 //	POST /api/submit    admission gate: would this transaction be served now?
 //	GET  /metrics       live metrics, Prometheus text exposition format
+//	                    (including the span layer's windowed percentile
+//	                    sketches)
 //	GET  /events        recent scheduler decision events, newest first (JSON)
+//	GET  /events/stream live decision events as Server-Sent Events
+//	GET  /api/spans     per-transaction causal spans, newest first (JSON)
 //	GET  /healthz       liveness probe; 503 "degraded" while the admission
 //	                    controller is in degradation mode
 //
@@ -71,6 +75,8 @@ type Server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	ring      *obs.Ring
+	spans     *obs.SpanBuilder
+	sse       *sseHub
 
 	mu     sync.Mutex
 	recent []Completion // ring buffer, next points at the oldest slot
@@ -117,7 +123,11 @@ func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts execut
 		opts.Metrics = s.reg
 	}
 	s.ring = obs.NewRing(eventRing)
-	opts.Sink = obs.Tee(opts.Sink, s.ring)
+	s.spans = obs.NewSpanBuilder(set, obs.SpanOptions{
+		Metrics: s.reg, Window: spanWindow, Keep: spanRing,
+	})
+	s.sse = newSSEHub(s.reg)
+	opts.Sink = obs.Tee(opts.Sink, s.ring, s.spans, s.sse)
 	s.reg.Gauge("asets_workload_transactions", "transactions in the replayed workload").Set(float64(set.Len()))
 
 	s.exec = executor.New(policy, set, opts)
@@ -129,6 +139,8 @@ func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts execut
 	s.mux.HandleFunc("POST /api/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /events/stream", s.handleEventStream)
+	s.mux.HandleFunc("GET /api/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// readSSE consumes one /events/stream response to EOF, returning the decoded
+// decision events and whether the terminal done frame arrived.
+func readSSE(t *testing.T, body io.Reader) (events []obs.Event, sawDone bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			switch event {
+			case "decision":
+				var ev obs.Event
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					t.Errorf("undecodable SSE data %q: %v", line, err)
+					continue
+				}
+				events = append(events, ev)
+			case "done":
+				sawDone = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("SSE read: %v", err)
+	}
+	return events, sawDone
+}
+
+// TestSSEStreamDeliversDecisions subscribes before the replay starts and
+// checks the live feed carries a well-formed decision stream end to end.
+func TestSSEStreamDeliversDecisions(t *testing.T) {
+	s, ts := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	resp, err := http.Get(ts.URL + "/events/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	mustStart(t, s, ctx)
+	events, sawDone := readSSE(t, resp.Body)
+	if !sawDone {
+		t.Fatal("stream did not end with a done frame")
+	}
+	if len(events) == 0 {
+		t.Fatal("no decision events streamed")
+	}
+	var completions int
+	for _, ev := range events {
+		if ev.Kind == obs.KindCompletion {
+			completions++
+		}
+	}
+	if completions == 0 {
+		t.Fatalf("no completions among %d streamed events", len(events))
+	}
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpansEndpoint checks /api/spans after a full replay: every admitted
+// transaction has a span, spans arrive newest-first, and each satisfies the
+// attribution invariant.
+func TestSpansEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	mustStart(t, s, ctx)
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var payload struct {
+		Total uint64 `json:"total"`
+		Spans []struct {
+			Txn      int     `json:"txn"`
+			Finish   float64 `json:"finish"`
+			Response float64 `json:"response"`
+			Attr     struct {
+				Queued    float64 `json:"queued"`
+				Service   float64 `json:"service"`
+				Preempted float64 `json:"preempted"`
+				Stalled   float64 `json:"stalled"`
+				Backoff   float64 `json:"backoff"`
+			} `json:"attr"`
+			Completed bool `json:"completed"`
+		} `json:"spans"`
+	}
+	getJSON(t, ts.URL+"/api/spans?limit=1000", &payload)
+	if int(payload.Total) != s.set.Len() {
+		t.Fatalf("span total %d, workload %d", payload.Total, s.set.Len())
+	}
+	if len(payload.Spans) != s.set.Len() {
+		t.Fatalf("got %d spans, want %d", len(payload.Spans), s.set.Len())
+	}
+	for i, sp := range payload.Spans {
+		if !sp.Completed {
+			t.Fatalf("span %d not completed: %+v", i, sp)
+		}
+		if sum := sp.Attr.Queued + sp.Attr.Service + sp.Attr.Preempted + sp.Attr.Stalled + sp.Attr.Backoff; sum != sp.Response {
+			t.Fatalf("txn %d: attribution sum %v != response %v", sp.Txn, sum, sp.Response)
+		}
+		if i > 0 && sp.Finish > payload.Spans[i-1].Finish {
+			t.Fatalf("spans not newest-first at index %d", i)
+		}
+	}
+
+	// The windowed sketches landed on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "# TYPE asets_span_tardiness summary") {
+		t.Fatal("span sketch missing from /metrics")
+	}
+	if !strings.Contains(string(b), `asets_window_tardiness{window="`) {
+		t.Fatal("windowed sketch missing from /metrics")
+	}
+
+	// Limit validation matches the other endpoints.
+	bad, err := http.Get(ts.URL + "/api/spans?limit=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestHammerSSEStream is the -race target for the SSE hub: many subscribers
+// connect, read and disconnect (some early) while the replay broadcasts and
+// other goroutines scrape /api/spans.
+func TestHammerSSEStream(t *testing.T) {
+	s, ts := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := mustStart(t, s, ctx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/events/stream")
+			if err != nil {
+				t.Errorf("stream %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if i%2 == 0 {
+				// Half the subscribers read to EOF; the rest disconnect
+				// early, exercising unsubscribe-under-broadcast.
+				readSSE(t, resp.Body)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/api/spans?limit=20")
+				if err != nil {
+					t.Errorf("spans scrape: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

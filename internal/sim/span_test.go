@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// checkSimSpans asserts, for every span of a real run, the tentpole
+// invariant: segments tile [Arrival, Finish] with exact float boundary
+// equality, and the attribution breakdown sums bit-exactly to the response
+// time (Response is the fixed category-order fold — see obs.Attribution).
+func checkSimSpans(t *testing.T, spans []*obs.Span, wantCompleted int) {
+	t.Helper()
+	completed := 0
+	for _, sp := range spans {
+		if sp.Shed {
+			continue
+		}
+		if !sp.Completed {
+			t.Fatalf("txn %d: closed span neither shed nor completed", sp.Txn)
+		}
+		completed++
+		if len(sp.Segments) == 0 {
+			t.Fatalf("txn %d: completed span has no segments", sp.Txn)
+		}
+		if sp.Segments[0].Start != sp.Arrival {
+			t.Errorf("txn %d: first segment starts %v, arrival %v", sp.Txn, sp.Segments[0].Start, sp.Arrival)
+		}
+		if last := sp.Segments[len(sp.Segments)-1].End; last != sp.Finish {
+			t.Errorf("txn %d: last segment ends %v, finish %v", sp.Txn, last, sp.Finish)
+		}
+		var attr obs.Attribution
+		for i, seg := range sp.Segments {
+			if i > 0 && seg.Start != sp.Segments[i-1].End {
+				t.Errorf("txn %d: segment %d gap: starts %v after end %v",
+					sp.Txn, i, seg.Start, sp.Segments[i-1].End)
+			}
+			d := seg.End - seg.Start
+			switch seg.Kind {
+			case obs.SegQueued:
+				attr.Queued += d
+			case obs.SegRunning:
+				attr.Service += d
+			case obs.SegPreempted:
+				attr.Preempted += d
+			case obs.SegStalled:
+				attr.Stalled += d
+			case obs.SegBackoff:
+				attr.Backoff += d
+			default:
+				t.Fatalf("txn %d: unknown segment kind %v", sp.Txn, seg.Kind)
+			}
+		}
+		if attr != sp.Attr {
+			t.Errorf("txn %d: attribution %+v, segment refold %+v", sp.Txn, sp.Attr, attr)
+		}
+		if sum := sp.Attr.Sum(); sum != sp.Response {
+			t.Errorf("txn %d: attribution sum %v != response %v (bit-exactness violated)",
+				sp.Txn, sum, sp.Response)
+		}
+	}
+	if wantCompleted >= 0 && completed != wantCompleted {
+		t.Fatalf("completed spans %d, want %d", completed, wantCompleted)
+	}
+}
+
+// TestSpansAcrossPolicies folds every policy's event stream into spans and
+// checks the attribution invariant plus obs.Validate on the raw stream.
+func TestSpansAcrossPolicies(t *testing.T) {
+	cfg := workload.Default(0.95, 17).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 200
+	for _, p := range []sched.Scheduler{
+		sched.NewFCFS(), sched.NewEDF(), sched.NewSRPT(), sched.NewLS(),
+		sched.NewHDF(), core.New(), core.NewReady(),
+	} {
+		set := workload.MustGenerate(cfg)
+		col := &obs.Collector{}
+		sb := obs.NewSpanBuilder(set, obs.SpanOptions{})
+		sum, err := New(Config{Sink: obs.Tee(col, sb)}).Run(set, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := obs.Validate(col.Events()); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+		spans := sb.Spans()
+		if len(spans) != sum.N {
+			t.Fatalf("%s: %d spans for %d transactions", p.Name(), len(spans), sum.N)
+		}
+		checkSimSpans(t, spans, sum.N)
+	}
+}
+
+// TestSpansUnderFaults drives the full fault taxonomy (aborts, backoff
+// restarts, stall and crash windows, bursts) through the span builder: the
+// attribution invariant must survive every lifecycle the simulator can
+// produce, and the stream must stay Validate-clean.
+func TestSpansUnderFaults(t *testing.T) {
+	cfg := workload.Default(0.9, 0xBEEF).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 200
+	for _, p := range []sched.Scheduler{sched.NewEDF(), core.New()} {
+		set := workload.MustGenerate(cfg)
+		col := &obs.Collector{}
+		sb := obs.NewSpanBuilder(set, obs.SpanOptions{})
+		sum, err := New(Config{Sink: obs.Tee(col, sb), Faults: hammerPlan()}).Run(set, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := obs.Validate(col.Events()); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+		spans := sb.Spans()
+		checkSimSpans(t, spans, sum.N)
+		var restarts, stalled int
+		for _, sp := range spans {
+			restarts += sp.Restarts
+			if sp.Attr.Stalled > 0 {
+				stalled++
+			}
+		}
+		if sum.Restarts > 0 && restarts != sum.Restarts {
+			t.Errorf("%s: span restarts %d, summary %d", p.Name(), restarts, sum.Restarts)
+		}
+		if stalled == 0 {
+			t.Errorf("%s: no span attributes time to the stall windows", p.Name())
+		}
+	}
+}
+
+// TestSpanStreamDeterministic: two fixed-seed runs produce byte-identical
+// span JSONL — the span analogue of TestEventStreamDeterministic.
+func TestSpanStreamDeterministic(t *testing.T) {
+	cfg := workload.Default(0.9, 0xBEEF).WithWorkflows(4, 1).WithWeights()
+	cfg.N = 150
+	run := func() string {
+		set := workload.MustGenerate(cfg)
+		sb := obs.NewSpanBuilder(set, obs.SpanOptions{})
+		if _, err := New(Config{Sink: sb, Faults: hammerPlan()}).Run(set, core.New()); err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := obs.WriteSpans(&buf, sb.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("fixed-seed span streams are not byte-identical")
+	}
+}

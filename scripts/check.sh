@@ -43,6 +43,10 @@ echo "== obs overhead benchmark"
 go run ./cmd/asetsbench -obs-bench BENCH_obs.json -n 400
 cat BENCH_obs.json
 
+echo "== span + sketch overhead benchmark"
+go run ./cmd/asetsbench -span-bench BENCH_span.json -n 400
+cat BENCH_span.json
+
 echo "== overload shedding benchmark"
 go run ./cmd/asetsbench -fault-bench BENCH_fault.json -n 300 -seeds 2
 cat BENCH_fault.json
