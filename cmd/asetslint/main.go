@@ -11,12 +11,14 @@
 //
 // Usage:
 //
-//	asetslint [-list] [dir]
+//	asetslint [-list] [-json] [dir]
 //
 // dir defaults to the current directory; the conventional "./..." spelling
 // is accepted and means the module rooted at ".". The whole module is always
 // analyzed — analyzers reason about cross-package facts (enum declarations,
-// clock seams), so there is no per-package mode.
+// clock seams, the hot-path call graph), so there is no per-package mode.
+// With -json, findings are emitted as a JSON array on stdout (empty array
+// when clean) for machine consumers; the exit status is unchanged.
 package main
 
 import (
@@ -31,8 +33,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzer battery and scopes, then exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asetslint [-list] [dir]\n")
+		fmt.Fprintf(os.Stderr, "usage: asetslint [-list] [-json] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,12 +82,21 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(fset, pkgs, analyzers)
-	for _, d := range diags {
-		rel, err := filepath.Rel(mustGetwd(), d.Pos.Filename)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = d.Pos.Filename
+	for i := range diags {
+		rel, err := filepath.Rel(mustGetwd(), diags[i].Pos.Filename)
+		if err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "asetslint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "asetslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -85,6 +85,8 @@ type QueueCap struct {
 }
 
 // Name implements Controller.
+//
+//lint:coldpath identity label, formatted at wiring time and on (rare) shed events
 func (c QueueCap) Name() string { return fmt.Sprintf("queue:%d", c.Max) }
 
 // Admit implements Controller.
@@ -113,6 +115,8 @@ type Feasibility struct {
 }
 
 // Name implements Controller.
+//
+//lint:coldpath identity label, formatted at wiring time and on (rare) shed events
 func (c Feasibility) Name() string {
 	if c.Tolerance == 0 {
 		return "slack"
@@ -169,6 +173,8 @@ func NewMissRatio(enter, exit float64) *MissRatio {
 }
 
 // Name implements Controller.
+//
+//lint:coldpath identity label, formatted at wiring time and on (rare) shed events
 func (c *MissRatio) Name() string { return fmt.Sprintf("missratio:%g,%g", c.Enter, c.Exit) }
 
 // Admit implements Controller.
@@ -183,6 +189,7 @@ func (c *MissRatio) Complete(_ *txn.Transaction, tardy bool) {
 		c.Window = missWindowDefault
 	}
 	if len(c.recent) < c.Window {
+		//lint:ignore hotpath-alloc recent grows once to the fixed window size, then is reused in place
 		c.recent = append(c.recent, tardy)
 		c.filled++
 	} else {
@@ -218,6 +225,7 @@ func (c *MissRatio) Degraded() bool { return c.degraded }
 // marked transaction when its arrival is consumed.
 func CascadeShed(set *txn.Set, t *txn.Transaction) {
 	t.Shed = true
+	//lint:ignore hotpath-alloc shedding is the overload response, not the steady state; a short-lived DFS stack per shed is acceptable
 	stack := []txn.ID{t.ID}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
@@ -228,6 +236,7 @@ func CascadeShed(set *txn.Set, t *txn.Transaction) {
 				continue
 			}
 			d.Shed = true
+			//lint:ignore hotpath-alloc the shed DFS stack is bounded by the downstream closure and lives only for the shed
 			stack = append(stack, dep)
 		}
 	}
@@ -239,6 +248,8 @@ func CascadeShed(set *txn.Set, t *txn.Transaction) {
 // shed retroactively when a later-arriving dependency is rejected. Workloads
 // built with the default OrderArrival chain order satisfy this; OrderRandom
 // ones may not.
+//
+//lint:coldpath precondition check, runs once before the event loop
 func CheckArrivalOrder(set *txn.Set) error {
 	for _, t := range set.Txns {
 		for _, dep := range t.Deps {

@@ -98,6 +98,7 @@ func byClass(set *txn.Set, classify func(*txn.Transaction) string) []ClassStats 
 		}
 	}
 	out := make([]ClassStats, 0, len(agg))
+	//lint:ignore maprange per-class rows are sorted by class immediately below
 	for _, st := range agg {
 		if st.N > 0 {
 			st.AvgTardiness /= float64(st.N)

@@ -194,6 +194,8 @@ func NewReady() *ASETSStar { return New(WithSingletonGrouping()) }
 func (a *ASETSStar) Name() string { return a.cfg.name }
 
 // Init implements sched.Scheduler.
+//
+//lint:coldpath per-run setup: entities, heaps and indexes are built before the event loop
 func (a *ASETSStar) Init(set *txn.Set) {
 	a.set = set
 	a.rt = sched.NewReadyTracker(set)

@@ -21,6 +21,8 @@ import (
 //  5. both heaps and the expiry heap satisfy their ordering invariants;
 //  6. an entity with at least one available member is enqueued unless its
 //     workflow is done.
+//
+//lint:coldpath O(N) audit for tests and the Checked debug wrapper; production runs never call it
 func (a *ASETSStar) CheckInvariants(now float64) error {
 	if !a.edf.Verify() || !a.hdf.Verify() || !a.expiry.Verify() {
 		return fmt.Errorf("core: heap ordering invariant broken at t=%v", now)

@@ -299,8 +299,9 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 				shed++
 				e.stats.Shed = shed
 				e.stats.Now = now
+				ctrlName := e.ctrl.Name()
 				e.mu.Unlock()
-				e.rec.Shed(now, t, e.ctrl.Name())
+				e.rec.Shed(now, t, ctrlName)
 				continue
 			}
 			e.stats.Submitted++

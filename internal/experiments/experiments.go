@@ -268,6 +268,7 @@ var Registry = map[string]func(Options) (*Result, error){
 // IDs returns the registered experiment IDs in sorted order.
 func IDs() []string {
 	ids := make([]string, 0, len(Registry))
+	//lint:ignore maprange collected IDs are sorted immediately below
 	for id := range Registry {
 		ids = append(ids, id)
 	}

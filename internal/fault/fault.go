@@ -153,6 +153,8 @@ func (p *Plan) Zero() bool {
 // Validate checks the plan and normalizes it (stall windows sorted by
 // start). Every rejection names the offending field and value, so CLI users
 // get an actionable message instead of a mid-run panic.
+//
+//lint:coldpath plan validation runs once at configuration time, before the event loop
 func (p *Plan) Validate() error {
 	if p.AbortProb < 0 || p.AbortProb > 1 {
 		return fmt.Errorf("fault: abort_prob %v must be in [0, 1]", p.AbortProb)
@@ -292,6 +294,8 @@ type Injector struct {
 }
 
 // NewInjector prepares an injector for a workload of n transactions.
+//
+//lint:coldpath injector construction is per-run setup
 func NewInjector(p *Plan, n int) *Injector {
 	return &Injector{plan: p, attempts: make([]int, n)}
 }
@@ -344,12 +348,14 @@ func (in *Injector) RecordCrashLoss(t *txn.Transaction) {
 // hold inserts t into the pending queue, keeping (at, id) order so restart
 // delivery is deterministic even when backoffs coincide.
 func (in *Injector) hold(at float64, t *txn.Transaction) {
+	//lint:ignore hotpath-alloc holds happen only on aborts (rare by construction) and the sort.Search closure does not escape
 	i := sort.Search(len(in.pending), func(i int) bool {
 		if in.pending[i].at != at {
 			return in.pending[i].at > at
 		}
 		return in.pending[i].t.ID > t.ID
 	})
+	//lint:ignore hotpath-alloc pending grows only while aborted transactions back off, bounded by the restart budget
 	in.pending = append(in.pending, held{})
 	copy(in.pending[i+1:], in.pending[i:])
 	in.pending[i] = held{at: at, t: t}

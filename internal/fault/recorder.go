@@ -31,6 +31,8 @@ type Recorder struct {
 }
 
 // NewRecorder wires a recorder to sink and reg (either may be nil).
+//
+//lint:coldpath recorder wiring is per-run setup
 func NewRecorder(sink obs.Sink, reg *obs.Registry) *Recorder {
 	if sink == nil {
 		sink = obs.Discard

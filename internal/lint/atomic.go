@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck returns the whole-module analyzer enforcing atomic-access
+// consistency: once any code passes a variable's address to a sync/atomic
+// function, every other access to that variable must also go through
+// sync/atomic — a single plain read or write next to atomic ones is a data
+// race the race detector only catches when the interleaving happens to
+// occur. The census is module-wide (an exported counter field may be
+// atomically updated in one package and read in another), which is why this
+// is a RunModule analyzer.
+//
+// Typed atomics (atomic.Uint64 and friends) are immune by construction and
+// never flagged: they expose no plain access to forget.
+//
+// Plain access is exempt when the base object was declared inside the
+// current function body (an object under construction is not yet shared) —
+// the same publication argument lockguard uses.
+func AtomicCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "atomiccheck",
+		Doc: "flags plain reads/writes of variables that are elsewhere accessed " +
+			"through sync/atomic functions; mixing the two is a data race",
+	}
+	a.RunModule = func(p *ModulePass) {
+		// Pass 1: census of objects whose address reaches sync/atomic, and
+		// the exact &x arguments that are therefore sanctioned.
+		atomicAt := map[types.Object]token.Pos{}
+		sanctioned := map[ast.Node]bool{}
+		for _, pkg := range p.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isAtomicCall(pkg.Info, call) {
+						return true
+					}
+					for _, arg := range call.Args {
+						ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || ue.Op != token.AND {
+							continue
+						}
+						target := ast.Unparen(ue.X)
+						obj := accessedObject(pkg.Info, target)
+						if obj == nil {
+							continue
+						}
+						if _, seen := atomicAt[obj]; !seen {
+							atomicAt[obj] = call.Pos()
+						}
+						sanctioned[target] = true
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicAt) == 0 {
+			return
+		}
+		// Pass 2: every other access to those objects must be atomic too.
+		for _, pkg := range p.Pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, _ := d.(*ast.FuncDecl)
+					checkAtomicUses(p, pkg, f, fd, atomicAt, sanctioned)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkAtomicUses walks one top-level declaration (fd is nil for var/const
+// declarations, whose package-initialization-time plain access is safe and
+// skipped) and reports non-sanctioned accesses to atomically-used objects.
+func checkAtomicUses(p *ModulePass, pkg *Package, f *ast.File, fd *ast.FuncDecl, atomicAt map[types.Object]token.Pos, sanctioned map[ast.Node]bool) {
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	report := func(pos token.Pos, obj types.Object) {
+		at := p.Fset.Position(atomicAt[obj])
+		p.Reportf(pos,
+			"%s is accessed with sync/atomic (%s:%d) but read/written plainly here; "+
+				"mixing atomic and plain access races — use atomic ops everywhere or a typed atomic",
+			obj.Name(), at.Filename, at.Line)
+	}
+	local := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.Ident:
+				obj := pkg.Info.Uses[x]
+				return obj != nil && obj.Pos() >= fd.Body.Pos() && obj.Pos() < fd.Body.End()
+			default:
+				return false
+			}
+		}
+	}
+	consumed := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			consumed[n.Sel] = true
+			if sanctioned[n] {
+				return true
+			}
+			sel, ok := pkg.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			obj := sel.Obj()
+			if _, ok := atomicAt[obj]; ok && !local(n.X) {
+				report(n.Sel.Pos(), obj)
+			}
+		case *ast.Ident:
+			if consumed[n] || sanctioned[n] {
+				return true
+			}
+			obj := pkg.Info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if _, ok := atomicAt[obj]; ok {
+				report(n.Pos(), obj)
+			}
+		}
+		return true
+	})
+}
+
+// accessedObject resolves the variable an &-argument targets: a struct field
+// (through the selection) or a plain variable.
+func accessedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v // pkg-qualified variable
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicCall matches direct calls of sync/atomic package functions.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

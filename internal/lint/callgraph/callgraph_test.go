@@ -1,0 +1,115 @@
+package callgraph_test
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/callgraph"
+)
+
+// buildGraphmod loads testdata/graphmod through the lint loader and builds
+// its call graph.
+func buildGraphmod(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	_, pkgs, err := lint.LoadModule(filepath.Join("testdata", "graphmod"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	units := make([]*callgraph.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &callgraph.Unit{Path: p.Path, Files: p.Files, Types: p.Types, Info: p.Info})
+	}
+	return callgraph.Build(units)
+}
+
+// render produces the textual graph form compared against graph.golden: one
+// line per declared function, indented "kind callee" lines per edge, both in
+// the graph's deterministic order.
+func render(g *callgraph.Graph) string {
+	var sb strings.Builder
+	for _, fn := range g.Funcs() {
+		fmt.Fprintf(&sb, "%s\n", callgraph.FuncString(fn))
+		for _, e := range g.Node(fn).Out {
+			fmt.Fprintf(&sb, "  %-9s %s\n", e.Kind, callgraph.FuncString(e.Callee))
+		}
+	}
+	return sb.String()
+}
+
+func TestGraphGolden(t *testing.T) {
+	got := render(buildGraphmod(t))
+	goldenPath := filepath.Join("testdata", "graph.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden: %v (got graph:\n%s)", err, got)
+	}
+	if got != string(want) {
+		t.Errorf("graph mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// lookup finds a function by its FuncString rendering.
+func lookup(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, fn := range g.Funcs() {
+		if callgraph.FuncString(fn) == name {
+			return g.Node(fn)
+		}
+	}
+	t.Fatalf("function %q not in graph", name)
+	return nil
+}
+
+func TestReachable(t *testing.T) {
+	g := buildGraphmod(t)
+	root := lookup(t, g, "graphmod/app.All")
+
+	reach := g.Reachable([]*types.Func{root.Func}, nil)
+	var got []string
+	for fn := range reach {
+		got = append(got, callgraph.FuncString(fn))
+	}
+	want := map[string]bool{
+		"graphmod/app.All":              true,
+		"graphmod/app.run":              true,
+		"graphmod/animals.NewDog":       true,
+		"graphmod/animals.(*Dog).Speak": true,
+		"graphmod/animals.(Cat).Speak":  true,
+		"graphmod/animals.bark":         true,
+	}
+	if len(got) != len(want) {
+		t.Errorf("reachable set = %v, want keys of %v", got, want)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected reachable function %s", name)
+		}
+	}
+	for fn, r := range reach {
+		if callgraph.FuncString(r) != "graphmod/app.All" {
+			t.Errorf("root of %s = %s, want graphmod/app.All", callgraph.FuncString(fn), callgraph.FuncString(r))
+		}
+	}
+}
+
+func TestReachableSkipPrunes(t *testing.T) {
+	g := buildGraphmod(t)
+	root := lookup(t, g, "graphmod/app.All")
+	dogSpeak := lookup(t, g, "graphmod/animals.(*Dog).Speak")
+
+	reach := g.Reachable([]*types.Func{root.Func}, map[*types.Func]bool{dogSpeak.Func: true})
+	for fn := range reach {
+		name := callgraph.FuncString(fn)
+		if name == "graphmod/animals.(*Dog).Speak" || name == "graphmod/animals.bark" {
+			t.Errorf("%s reachable despite skip of (*Dog).Speak", name)
+		}
+	}
+	if _, ok := reach[lookup(t, g, "graphmod/animals.(Cat).Speak").Func]; !ok {
+		t.Errorf("(Cat).Speak should stay reachable when only (*Dog).Speak is skipped")
+	}
+}

@@ -1,0 +1,28 @@
+// Package animals is the callee side of the call-graph golden test: an
+// interface with two concrete implementations (one pointer receiver, one
+// value receiver) plus a plain helper, so the graph must demonstrate static
+// dispatch, interface fan-out, and receiver-kind handling.
+package animals
+
+// Speaker is the dispatch surface the golden test resolves through.
+type Speaker interface {
+	Speak() string
+}
+
+// Dog implements Speaker with a pointer receiver.
+type Dog struct{ name string }
+
+// Speak implements Speaker.
+func (d *Dog) Speak() string { return bark(d.name) }
+
+// Cat implements Speaker with a value receiver.
+type Cat struct{}
+
+// Speak implements Speaker.
+func (Cat) Speak() string { return "meow" }
+
+// bark is only reachable through (*Dog).Speak.
+func bark(name string) string { return name + ": woof" }
+
+// NewDog is a plain function called statically from the app package.
+func NewDog(name string) *Dog { return &Dog{name: name} }

@@ -1,0 +1,31 @@
+// Package app is the caller side of the call-graph golden test: it exercises
+// a static cross-package call, a call through an interface (which must fan
+// out to every satisfying concrete type), a method value bound to a concrete
+// receiver, a method value bound to an interface receiver, and a plain
+// function value.
+package app
+
+import "graphmod/animals"
+
+// All drives every dispatch shape the graph builder must resolve.
+func All() []string {
+	d := animals.NewDog("rex") // static call
+	var s animals.Speaker = d
+	out := []string{s.Speak()} // interface dispatch: *Dog and Cat
+
+	f := d.Speak // method value, concrete receiver
+	out = append(out, f())
+
+	g := s.Speak // method value, interface receiver: fans out too
+	out = append(out, g())
+
+	out = append(out, run(animals.Cat{}.Speak)) // method value passed as arg
+	return out
+}
+
+// run invokes a function value; the call itself resolves to no declared
+// function (the target is whatever flowed in at the call site).
+func run(f func() string) string { return f() }
+
+// unused exercises a plain function value reference.
+func unused() func(string) *animals.Dog { return animals.NewDog }

@@ -1,0 +1,3 @@
+module graphmod
+
+go 1.22

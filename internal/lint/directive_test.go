@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFileIgnoreWithoutReason: a //lint:file-ignore missing its reason is
+// inert (findings in the file survive) and is itself reported.
+func TestFileIgnoreWithoutReason(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": `//lint:file-ignore maprange
+package a
+
+func F(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`,
+	})
+	fset, pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(fset, pkgs, unscoped())
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.Analyzer == "directive" && !strings.Contains(d.Message, "file-ignore") {
+			t.Errorf("directive message %q should name the file-ignore form", d.Message)
+		}
+	}
+	if byAnalyzer["maprange"] != 1 {
+		t.Errorf("maprange findings = %d, want 1 (reasonless file-ignore must not suppress)", byAnalyzer["maprange"])
+	}
+	if byAnalyzer["directive"] != 1 {
+		t.Errorf("directive findings = %d, want 1 (missing reason must be reported)", byAnalyzer["directive"])
+	}
+}
+
+// TestIgnoreMultilineStatement: a directive on the line above a statement
+// wrapped over several lines must suppress findings on every line of the
+// statement, not just its first.
+func TestIgnoreMultilineStatement(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+type P struct {
+	Deadline float64
+	Slack    float64
+}
+
+// Same reports exact equality, used by a replay-divergence check where
+// bit-identity is the point.
+func Same(a, b P) bool {
+	//lint:ignore floatcmp replay divergence check: bit-identity is the requirement
+	same := a.Deadline == b.Deadline &&
+		a.Slack == b.Slack
+	return same
+}
+`,
+	})
+	fset, pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(fset, pkgs, unscoped())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s (directive above a multi-line statement must cover all of it)", d)
+	}
+}
+
+// TestIgnoreDoesNotBlanketBlocks: a directive above an if statement covers
+// the condition but must not leak into the block body.
+func TestIgnoreDoesNotBlanketBlocks(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+type P struct {
+	Deadline float64
+	Slack    float64
+}
+
+// Check mixes a sanctioned exact comparison in an if header with an
+// unsanctioned one inside the body.
+func Check(a, b P) int {
+	//lint:ignore floatcmp header comparison is the sanctioned one
+	if a.Deadline == b.Deadline {
+		if a.Slack == b.Slack {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+`,
+	})
+	fset, pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(fset, pkgs, unscoped())
+	if len(diags) != 1 || diags[0].Analyzer != "floatcmp" {
+		t.Fatalf("diagnostics = %v, want exactly the body's floatcmp finding to survive", diags)
+	}
+}
+
+// TestWriteJSON: the machine-readable form round-trips position and message,
+// and an empty diagnostic list encodes as [] (not null).
+func TestWriteJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+func F(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+`,
+	})
+	fset, pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(fset, pkgs, unscoped())
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one maprange finding", diags)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		`"file": "`,
+		`"line": 4`,
+		`"analyzer": "maprange"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON output missing %q:\n%s", frag, out)
+		}
+	}
+
+	sb.Reset()
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", got)
+	}
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -10,9 +11,14 @@ import (
 //	//lint:ignore analyzer1[,analyzer2] reason       one line
 //	//lint:file-ignore analyzer1[,analyzer2] reason  whole file
 //
-// A line directive suppresses findings on its own line and on the line
+// A line directive suppresses findings on its own line, on the line
 // immediately below it (so it can sit at the end of the offending line or
-// alone just above it). The reason is mandatory: suppressions without a
+// alone just above it), and — when a statement begins on one of those
+// lines — across the statement's remaining lines, so a directive above a
+// call or assignment wrapped over several lines attaches to the whole
+// statement. Compound statements (if, for, switch, select, func) are covered
+// only up to their opening brace: a directive must never silently blanket an
+// entire block body. The reason is mandatory: suppressions without a
 // recorded justification defeat the point of a determinism policy.
 
 const (
@@ -22,7 +28,7 @@ const (
 
 // directive is one parsed suppression.
 type directive struct {
-	analyzers map[string]bool
+	analyzers []string
 	file      string
 	line      int  // line of the comment
 	wholeFile bool // //lint:file-ignore
@@ -52,7 +58,6 @@ func parseDirectives(fset *token.FileSet, pkg *Package) []directive {
 				}
 				pos := fset.Position(c.Pos())
 				d := directive{
-					analyzers: map[string]bool{},
 					file:      pos.Filename,
 					line:      pos.Line,
 					wholeFile: wholeFile,
@@ -60,11 +65,16 @@ func parseDirectives(fset *token.FileSet, pkg *Package) []directive {
 				}
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					d.malformed = "directive needs an analyzer list and a reason: //lint:ignore <analyzer>[,<analyzer>] <reason>"
+					kind := "ignore"
+					if wholeFile {
+						kind = "file-ignore"
+					}
+					d.malformed = "directive needs an analyzer list and a reason: //lint:" +
+						kind + " <analyzer>[,<analyzer>] <reason>"
 				} else {
 					for _, name := range strings.Split(fields[0], ",") {
 						if name != "" {
-							d.analyzers[name] = true
+							d.analyzers = append(d.analyzers, name)
 						}
 					}
 				}
@@ -91,6 +101,58 @@ func checkDirectives(fset *token.FileSet, pkg *Package) []Diagnostic {
 	return diags
 }
 
+// lineSpan is an inclusive range of source lines in one file.
+type lineSpan struct {
+	start, end int
+}
+
+// stmtSpans records, per file, the line extent of every construct a line
+// directive can attach to. Simple statements and value specs span to their
+// end; compound statements and function declarations contribute only their
+// header (up to the opening brace), so a directive above an if or for covers
+// the condition but never the block body.
+func stmtSpans(fset *token.FileSet, pkg *Package) map[string][]lineSpan {
+	out := map[string][]lineSpan{}
+	for _, f := range pkg.Files {
+		file := fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			var end token.Pos
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				end = n.Body.Lbrace
+			case *ast.ForStmt:
+				end = n.Body.Lbrace
+			case *ast.RangeStmt:
+				end = n.Body.Lbrace
+			case *ast.SwitchStmt:
+				end = n.Body.Lbrace
+			case *ast.TypeSwitchStmt:
+				end = n.Body.Lbrace
+			case *ast.SelectStmt:
+				end = n.Body.Lbrace
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					end = n.Body.Lbrace
+				} else {
+					end = n.End()
+				}
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+				*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.ValueSpec,
+				*ast.Field:
+				end = n.End()
+			default:
+				return true
+			}
+			out[file] = append(out[file], lineSpan{
+				start: fset.Position(n.Pos()).Line,
+				end:   fset.Position(end).Line,
+			})
+			return true
+		})
+	}
+	return out
+}
+
 // filterIgnored removes diagnostics covered by a well-formed directive.
 func filterIgnored(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	type lineKey struct {
@@ -100,6 +162,7 @@ func filterIgnored(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []D
 	perLine := map[lineKey]map[string]bool{}
 	perFile := map[string]map[string]bool{}
 	for _, pkg := range pkgs {
+		spans := stmtSpans(fset, pkg)
 		for _, d := range parseDirectives(fset, pkg) {
 			if d.malformed != "" {
 				continue
@@ -108,17 +171,23 @@ func filterIgnored(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []D
 				if perFile[d.file] == nil {
 					perFile[d.file] = map[string]bool{}
 				}
-				for a := range d.analyzers {
+				for _, a := range d.analyzers {
 					perFile[d.file][a] = true
 				}
 				continue
 			}
-			for _, line := range []int{d.line, d.line + 1} {
+			lo, hi := d.line, d.line+1
+			for _, sp := range spans[d.file] {
+				if (sp.start == d.line || sp.start == d.line+1) && sp.end > hi {
+					hi = sp.end
+				}
+			}
+			for line := lo; line <= hi; line++ {
 				k := lineKey{d.file, line}
 				if perLine[k] == nil {
 					perLine[k] = map[string]bool{}
 				}
-				for a := range d.analyzers {
+				for _, a := range d.analyzers {
 					perLine[k][a] = true
 				}
 			}

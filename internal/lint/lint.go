@@ -19,6 +19,13 @@
 //	goroutine-hygiene         goroutines launched without a visible join
 //	exhaustive-policy-switch  switches over repo enums that silently ignore
 //	                          constants
+//	hotpath-alloc             allocation idioms anywhere reachable in the
+//	                          call graph from a //lint:hotpath root
+//	                          (whole-program; internal/lint/callgraph)
+//	lockguard                 `// guarded by <mu>` fields accessed without
+//	                          the mutex held
+//	atomiccheck               plain access to variables elsewhere accessed
+//	                          through sync/atomic (whole-program)
 //
 // Findings can be suppressed per line with a justified directive:
 //
@@ -67,8 +74,13 @@ type Analyzer struct {
 	// Exclude skips packages whose import path contains any of these
 	// substrings, after Include matching.
 	Exclude []string
-	// Run inspects one package.
+	// Run inspects one package. Exactly one of Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once. Whole-program analyzers
+	// (hotpath-alloc's call-graph reachability, atomiccheck's cross-package
+	// field census) set this instead of Run; Include/Exclude do not apply —
+	// such analyzers are driven by source annotations, not path scopes.
+	RunModule func(*ModulePass)
 }
 
 // applies reports whether the analyzer runs on the package with the given
@@ -115,6 +127,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one whole-module unit of work: the analyzer sees every
+// package at once, so it can build a call graph or collect cross-package
+// facts before reporting.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Suite returns the repository's analyzer battery with its package scopes
 // configured. The scopes implement the determinism policy of
 // docs/DETERMINISM.md: simulation and decision packages must be
@@ -122,17 +154,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // fire-and-forget behaviour.
 func Suite() []*Analyzer {
 	nd := Nondeterminism()
-	nd.Include = []string{
-		"internal/sim", "internal/core", "internal/sched",
-		"internal/workload", "internal/experiments", "internal/obs",
-		"internal/fault", "internal/admit", "internal/runner",
-		"internal/metrics",
-	}
+	nd.Include = []string{"internal/"}
 	mr := MapRange()
-	mr.Include = []string{
-		"internal/core", "internal/sched", "internal/sim", "internal/executor",
-		"internal/obs", "internal/metrics",
-	}
+	mr.Include = []string{"internal/"}
 	fc := FloatCmp()
 	fc.Include = []string{
 		"internal/core", "internal/sched", "internal/sim",
@@ -141,7 +165,13 @@ func Suite() []*Analyzer {
 	gh := GoroutineHygiene()
 	gh.Exclude = []string{"cmd/", "examples/"}
 	ex := ExhaustiveSwitch()
-	return []*Analyzer{nd, mr, fc, gh, ex}
+	// The whole-program analyzers are annotation-driven (//lint:hotpath
+	// roots, `// guarded by` fields, sync/atomic usage) and need no path
+	// scope: without annotations they are silent.
+	hp := HotPathAlloc()
+	lg := LockGuard()
+	ac := AtomicCheck()
+	return []*Analyzer{nd, mr, fc, gh, ex, hp, lg, ac}
 }
 
 // Run applies each analyzer to every package in its scope, filters
@@ -152,12 +182,18 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !a.applies(pkg.Path) {
+			if a.Run == nil || !a.applies(pkg.Path) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, diags: &diags})
 	}
 	for _, pkg := range pkgs {
 		diags = append(diags, checkDirectives(fset, pkg)...)

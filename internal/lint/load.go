@@ -64,6 +64,7 @@ func LoadModule(root string) (*token.FileSet, []*Package, error) {
 		return nil, nil, err
 	}
 	paths := make([]string, 0, len(ld.dirs))
+	//lint:ignore maprange collected import paths are sorted immediately below
 	for p := range ld.dirs {
 		paths = append(paths, p)
 	}

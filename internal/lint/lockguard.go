@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard returns the analyzer enforcing `// guarded by <mu>` field
+// annotations: a struct field carrying the annotation may only be read or
+// written while the named mutex of the same object is held. Holding is
+// tracked intra-procedurally — Lock/RLock calls acquire, Unlock/RUnlock
+// release, deferred unlocks keep the lock held to the end of the function,
+// and state never leaks out of a conditional branch or loop body (a lock
+// taken inside an if is not assumed held after it).
+//
+// Two deliberate exemptions keep the check annotation-cheap:
+//
+//   - accesses through a base object declared inside the current function
+//     body are skipped: a constructor initializing a struct it has not yet
+//     published cannot race;
+//   - function literals are checked with an empty lock set of their own,
+//     since a closure generally runs on a different goroutine or at a later
+//     time than its creation site.
+func LockGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "lockguard",
+		Doc: "enforces `// guarded by <mu>` struct-field annotations: annotated " +
+			"fields may only be accessed while the named mutex on the same object " +
+			"is held (intra-procedural Lock/Unlock/defer tracking)",
+	}
+	a.Run = func(pass *Pass) {
+		guards := guardedFields(pass.Pkg)
+		if len(guards) == 0 {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c := &lockChecker{pass: pass, guards: guards, fn: fd}
+				c.stmts(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return a
+}
+
+// guardedFields collects the package's annotated struct fields: the field's
+// doc or trailing comment contains "guarded by <name>", where <name> is a
+// sibling mutex field.
+func guardedFields(pkg *Package) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						out[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardName extracts the mutex name from a field's "guarded by <mu>"
+// comment, or "".
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			idx := strings.Index(text, "guarded by ")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.Fields(text[idx+len("guarded by "):])
+			if len(rest) > 0 {
+				return strings.TrimRight(rest[0], ".,;:")
+			}
+		}
+	}
+	return ""
+}
+
+// lockChecker walks one function body, threading the set of held mutexes.
+// Keys are types.ExprString of the mutex expression ("s.mu", "h.state.mu").
+type lockChecker struct {
+	pass   *Pass
+	guards map[*types.Var]string
+	fn     *ast.FuncDecl
+}
+
+func (c *lockChecker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+// copyHeld snapshots the lock set for a branch body, so acquisitions and
+// releases inside it do not leak past it.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	//lint:ignore maprange copying a set; destination is a map with identical ordering semantics
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if mu, op := lockOp(s.X); op != lockNone {
+			if op == lockAcquire {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		c.exprs(held, s.X)
+	case *ast.DeferStmt:
+		if _, op := lockOp(s.Call); op == lockRelease {
+			return // deferred unlock: the lock stays held to function end
+		}
+		c.exprs(held, s.Call)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: its body starts with no locks.
+		c.exprs(map[string]bool{}, s.Call)
+	case *ast.IfStmt:
+		c.stmt(s.Init, held)
+		c.exprs(held, s.Cond)
+		c.stmts(s.Body.List, copyHeld(held))
+		c.stmt(s.Else, copyHeld(held))
+	case *ast.ForStmt:
+		c.stmt(s.Init, held)
+		c.exprs(held, s.Cond)
+		body := copyHeld(held)
+		c.stmts(s.Body.List, body)
+		c.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		c.exprs(held, s.X)
+		c.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, held)
+		c.exprs(held, s.Tag)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				branch := copyHeld(held)
+				c.exprs(branch, cc.List...)
+				c.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, held)
+		c.stmt(s.Assign, held)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				branch := copyHeld(held)
+				c.stmt(cc.Comm, branch)
+				c.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		c.exprs(held, s.Rhs...)
+		c.exprs(held, s.Lhs...)
+	case *ast.ReturnStmt:
+		c.exprs(held, s.Results...)
+	case *ast.IncDecStmt:
+		c.exprs(held, s.X)
+	case *ast.SendStmt:
+		c.exprs(held, s.Chan, s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(held, vs.Values...)
+				}
+			}
+		}
+	}
+}
+
+// exprs checks every guarded-field access inside the given expressions
+// against the current lock set. Function literals are re-entered with an
+// empty set of their own.
+func (c *lockChecker) exprs(held map[string]bool, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				c.stmts(n.Body.List, map[string]bool{})
+				return false
+			case *ast.SelectorExpr:
+				c.checkAccess(n, held)
+			}
+			return true
+		})
+	}
+}
+
+// checkAccess reports sel if it reaches an annotated field without the
+// guard held.
+func (c *lockChecker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	s, ok := c.pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := c.guards[field]
+	if !ok {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + guard
+	if held[key] {
+		return
+	}
+	if c.localBase(sel.X) {
+		return // object under construction, not yet shared
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		"field %s is guarded by %s but accessed without holding %s",
+		field.Name(), guard, key)
+}
+
+// localBase reports whether the root identifier of e is declared inside the
+// current function's body (not a parameter or receiver), meaning the object
+// cannot yet be visible to another goroutine.
+func (c *lockChecker) localBase(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := c.pass.Pkg.Info.Uses[x]
+			if obj == nil {
+				return false
+			}
+			body := c.fn.Body
+			return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+		default:
+			return false
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp matches mu.Lock()/RLock()/Unlock()/RUnlock() call expressions and
+// returns the mutex expression's string key plus the operation.
+func lockOp(e ast.Expr) (string, lockOpKind) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", lockNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), lockAcquire
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), lockRelease
+	}
+	return "", lockNone
+}

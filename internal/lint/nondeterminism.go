@@ -52,6 +52,7 @@ func Nondeterminism() *Analyzer {
 				}
 			}
 		}
+		//lint:ignore maprange findings are sorted into a total order by the engine before output
 		for id, obj := range pass.Pkg.Info.Uses {
 			fn, ok := obj.(*types.Func)
 			if !ok || fn.Pkg() == nil {

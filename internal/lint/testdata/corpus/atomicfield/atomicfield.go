@@ -1,0 +1,60 @@
+// Package atomicfield seeds the atomiccheck corpus: any variable whose
+// address reaches a sync/atomic function must be accessed atomically
+// everywhere. Lines marked want must be flagged; everything else must stay
+// silent.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// bump and load are the sanctioned atomic accesses.
+func bump(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func load(s *stats) uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// racyRead mixes a plain read in.
+func racyRead(s *stats) uint64 {
+	return s.hits // want atomiccheck
+}
+
+// racyWrite mixes a plain write in.
+func racyWrite(s *stats) {
+	s.hits = 0 // want atomiccheck
+}
+
+// plainField is never touched atomically: silent.
+func plainField(s *stats) uint64 {
+	return s.misses
+}
+
+// construct writes before publication: exempt.
+func construct() *stats {
+	s := &stats{}
+	s.hits = 1
+	return s
+}
+
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+// racyTotal reads the package-level counter plainly.
+func racyTotal() uint64 {
+	return total // want atomiccheck
+}
+
+// suppressedRead shows a justified suppression.
+func suppressedRead(s *stats) uint64 {
+	//lint:ignore atomiccheck snapshot after all writers joined; no concurrent access
+	return s.hits
+}

@@ -1,0 +1,97 @@
+// Package lockedstate seeds the lockguard corpus: fields annotated
+// "guarded by mu" must only be touched with the right mutex held. Lines
+// marked want must be flagged; everything else must stay silent.
+package lockedstate
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int    // guarded by mu
+	s  string // unguarded on purpose
+}
+
+// locked brackets the access correctly.
+func locked(c *counter) int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// deferred uses the defer idiom: held to function end.
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// bare reads without any lock.
+func bare(c *counter) int {
+	return c.n // want lockguard
+}
+
+// branchLeak locks only inside the conditional; the lock must not be
+// considered held after the block.
+func branchLeak(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+		c.n = 1
+		c.mu.Unlock()
+	}
+	c.n = 2 // want lockguard
+}
+
+// unlockedTail releases and then keeps touching the field.
+func unlockedTail(c *counter) int {
+	c.mu.Lock()
+	c.n = 3
+	c.mu.Unlock()
+	return c.n // want lockguard
+}
+
+// construct initializes an unpublished object: exempt.
+func construct() *counter {
+	c := &counter{}
+	c.n = 41
+	c.n++
+	return c
+}
+
+// escape returns a closure; the closure runs later, outside the bracket
+// taken here, so its body starts with no locks held.
+func escape(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 8
+	return func() {
+		c.n = 9 // want lockguard
+	}
+}
+
+// unguarded touches the field with no annotation: silent.
+func unguarded(c *counter) string {
+	return c.s
+}
+
+type pair struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	a     int // guarded by mu
+}
+
+// wrongMutex holds a mutex — just not the one the annotation names.
+func wrongMutex(p *pair) {
+	p.other.Lock()
+	p.a = 1 // want lockguard
+	p.other.Unlock()
+}
+
+// methodReceiver exercises the receiver (non-local) base.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want lockguard
+}

@@ -23,6 +23,8 @@ type Histogram struct {
 
 // NewHistogram returns a histogram with the given bucket growth factor
 // (must exceed 1; 2 gives powers of two).
+//
+//lint:coldpath histogram construction happens at metric-registration time
 func NewHistogram(base float64) *Histogram {
 	if base <= 1 || math.IsNaN(base) || math.IsInf(base, 0) {
 		panic(fmt.Sprintf("metrics: histogram base %v must be > 1", base))
@@ -51,6 +53,7 @@ func (h *Histogram) Add(v float64) {
 		idx = 0 // sub-unit values share the first bucket
 	}
 	for len(h.buckets) <= idx {
+		//lint:ignore hotpath-alloc buckets grow to ~log_base(max) entries during warm-up, then stay fixed
 		h.buckets = append(h.buckets, 0)
 	}
 	h.buckets[idx]++

@@ -64,6 +64,8 @@ type Summary struct {
 // Shed are excluded from every aggregate and counted in Summary.Shed; any
 // other unfinished transaction is an error, because a partial run has no
 // meaningful tardiness.
+//
+//lint:coldpath end-of-run aggregation, runs once after the event loop drains
 func Compute(set *txn.Set, busyTime float64) (*Summary, error) {
 	if set.Len() == 0 {
 		return &Summary{}, nil

@@ -39,6 +39,8 @@ const sketchIndexBound = 4096
 
 // NewSketch returns a sketch with relative accuracy alpha (0 < alpha < 1;
 // 0.01 gives 1% relative error, the conventional default).
+//
+//lint:coldpath sketch construction happens at metric-registration time
 func NewSketch(alpha float64) *Sketch {
 	if !(alpha > 0 && alpha < 1) || math.IsNaN(alpha) {
 		panic(fmt.Sprintf("metrics: sketch alpha %v must be in (0, 1)", alpha))
@@ -83,15 +85,18 @@ func (s *Sketch) index(v float64) int {
 func (s *Sketch) grow(idx int) {
 	if len(s.buckets) == 0 {
 		s.lo = idx
+		//lint:ignore hotpath-alloc first observation seeds the backing array; runs once per sketch
 		s.buckets = []int64{1}
 		return
 	}
 	if idx < s.lo {
 		pad := make([]int64, s.lo-idx)
+		//lint:ignore hotpath-alloc downward extension is amortized: the array covers [lo, hi] after warm-up
 		s.buckets = append(pad, s.buckets...)
 		s.lo = idx
 	}
 	for idx >= s.lo+len(s.buckets) {
+		//lint:ignore hotpath-alloc upward extension is amortized: the array covers [lo, hi] after warm-up
 		s.buckets = append(s.buckets, 0)
 	}
 	s.buckets[idx-s.lo]++

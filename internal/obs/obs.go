@@ -276,7 +276,7 @@ func NewRing(capacity int) *Ring {
 	if capacity < 1 {
 		panic(fmt.Sprintf("obs: ring capacity %d must be positive", capacity))
 	}
-	return &Ring{cap: capacity}
+	return &Ring{cap: capacity, buf: make([]Event, 0, capacity)}
 }
 
 // Cap returns the ring's capacity.
@@ -288,6 +288,7 @@ func (r *Ring) Emit(ev Event) {
 	ev.Seq = r.seq
 	r.seq++
 	if len(r.buf) < r.cap {
+		//lint:ignore hotpath-alloc buf is preallocated to cap in NewRing; this append never reallocates
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[r.next] = ev
@@ -332,6 +333,7 @@ type Collector struct {
 func (c *Collector) Emit(ev Event) {
 	c.mu.Lock()
 	ev.Seq = uint64(len(c.events))
+	//lint:ignore hotpath-alloc Collector retains the full stream by design (timeline export, post-run analysis)
 	c.events = append(c.events, ev)
 	c.mu.Unlock()
 }
@@ -369,6 +371,7 @@ func (j *JSONLWriter) Emit(ev Event) {
 	j.seq++
 	b, err := ev.MarshalJSON()
 	if err == nil {
+		//lint:ignore hotpath-alloc JSONL encoding allocates by design; this sink is for offline capture, not benchmark runs
 		_, err = j.w.Write(append(b, '\n'))
 	}
 	if err != nil {

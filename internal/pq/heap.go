@@ -52,6 +52,7 @@ func (h *Heap[T]) Push(it *Item[T]) {
 	}
 	it.index = len(h.items)
 	it.owner = h
+	//lint:ignore hotpath-alloc the heap slice reaches the peak population during warm-up and is reused across push/pop cycles
 	h.items = append(h.items, it)
 	h.up(it.index)
 }

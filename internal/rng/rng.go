@@ -22,6 +22,7 @@ type SplitMix64 struct {
 
 // NewSplitMix64 returns a SplitMix64 seeded with seed.
 func NewSplitMix64(seed uint64) *SplitMix64 {
+	//lint:ignore hotpath-alloc hot callers (fault.abortDraw) never let the generator escape, so it stays on the stack after inlining
 	return &SplitMix64{state: seed}
 }
 

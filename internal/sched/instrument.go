@@ -54,6 +54,8 @@ type Instrumented struct {
 // registry) s is returned unchanged, so uninstrumented runs pay zero
 // overhead — nothing would observe the events or the counts. Events are
 // stamped with the simulated `now` of each callback — never the host clock.
+//
+//lint:coldpath instrumentation wiring is per-run setup
 func Instrument(s Scheduler, sink obs.Sink, reg *obs.Registry) Scheduler {
 	if (sink == nil || sink == obs.Discard) && reg == nil {
 		return s

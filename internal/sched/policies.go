@@ -38,6 +38,7 @@ func NewPriorityPolicy(name string, less Less) Scheduler {
 
 func (p *priorityPolicy) Name() string { return p.name }
 
+//lint:coldpath per-run setup: the ready queue is built before the event loop
 func (p *priorityPolicy) Init(set *txn.Set) {
 	p.rt = NewReadyTracker(set)
 	switch p.backend {

@@ -80,7 +80,7 @@ func (rt *ReadyTracker) Arrive(t *txn.Transaction) bool {
 // t and that have already arrived.
 func (rt *ReadyTracker) Complete(t *txn.Transaction) []*txn.Transaction {
 	rt.finished[t.ID] = true
-	var newly []*txn.Transaction
+	newly := make([]*txn.Transaction, 0, len(rt.set.Dependents[t.ID]))
 	for _, depID := range rt.set.Dependents[t.ID] {
 		rt.unfinished[depID]--
 		if rt.unfinished[depID] == 0 && rt.arrived[depID] && !rt.finished[depID] {

@@ -79,12 +79,12 @@ type Server struct {
 	sse       *sseHub
 
 	mu     sync.Mutex
-	recent []Completion // ring buffer, next points at the oldest slot
-	next   int
-	total  int
+	recent []Completion // ring buffer, next points at the oldest slot; guarded by mu
+	next   int          // guarded by mu
+	total  int          // guarded by mu
 
-	started bool
-	runErr  error
+	started bool  // guarded by mu
+	runErr  error // guarded by mu
 	done    chan struct{}
 }
 

@@ -25,9 +25,9 @@ const sseBuffer = 256
 // stays real-time even with stuck clients.
 type sseHub struct {
 	mu      sync.Mutex
-	subs    map[chan obs.Event]struct{}
-	seq     uint64
-	dropped *obs.Counter
+	subs    map[chan obs.Event]struct{} // guarded by mu
+	seq     uint64                      // guarded by mu
+	dropped *obs.Counter                // handle set once at construction; the counter itself is atomic
 }
 
 func newSSEHub(reg *obs.Registry) *sseHub {

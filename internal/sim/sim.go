@@ -93,6 +93,8 @@ type Options = Config
 // the raw configured value, before defaulting, so Servers: -1 is rejected on
 // the same path for every run mode (a regression here once let negative
 // counts reach the event loop only because zero happened to default first).
+//
+//lint:coldpath config validation runs once before the event loop
 func (c Config) servers() (int, error) {
 	if c.Servers < 0 {
 		return 0, fmt.Errorf("sim: servers %d must be positive", c.Servers)
@@ -134,6 +136,13 @@ const completionEpsilon = 1e-9
 // one exception: it stays checked out while it waits out its backoff and is
 // returned through OnPreempt (with its remaining time reset) when the
 // backoff expires.
+//
+// Run is the decision loop ROADMAP item 2 wants allocation-free; the
+// hotpath marker makes asetslint enforce that transitively over everything
+// Run reaches, including every scheduling policy behind the Scheduler
+// interface and every Sink behind the observer.
+//
+//lint:hotpath
 func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	cfg := e.cfg
 	n := set.Len()
@@ -144,6 +153,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	var inj *fault.Injector
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
+			//lint:ignore hotpath-alloc cold error exit during pre-loop setup
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		inj = fault.NewInjector(cfg.Faults, n)
@@ -155,6 +165,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		// complete, so its dependents would deadlock the scheduler), which
 		// requires dependencies to be delivered before their dependents.
 		if err := admit.CheckArrivalOrder(set); err != nil {
+			//lint:ignore hotpath-alloc cold error exit during pre-loop setup
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
@@ -172,6 +183,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	// Arrival order: by time, ties by ID for determinism.
 	order := make([]*txn.Transaction, n)
 	copy(order, set.Txns)
+	//lint:ignore hotpath-alloc pre-loop setup: the arrival order is sorted once per run
 	sort.SliceStable(order, func(i, j int) bool {
 		if order[i].Arrival != order[j].Arrival {
 			return order[i].Arrival < order[j].Arrival
@@ -207,12 +219,14 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		// the stall event fires exactly once per window hit.
 		stallSeen = -1
 	)
+	//lint:ignore hotpath-alloc closure is allocated once per run, before the event loop
 	heldOut := func() int {
 		if inj == nil {
 			return 0
 		}
 		return inj.Held()
 	}
+	//lint:ignore hotpath-alloc closure is allocated once per run, before the event loop
 	deliver := func(upTo float64) {
 		for nextArr < n && order[nextArr].Arrival <= upTo {
 			t := order[nextArr]
@@ -241,6 +255,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 			s.OnArrival(upTo, t)
 		}
 	}
+	//lint:ignore hotpath-alloc closure is allocated once per run, before the event loop
 	deliverRestarts := func(upTo float64) {
 		if inj == nil {
 			return
@@ -251,6 +266,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		}
 	}
 	// enterStall records the outage window's entry event exactly once.
+	//lint:ignore hotpath-alloc closure is allocated once per run, before the event loop
 	enterStall := func(w fault.Window, idx int) {
 		if idx != stallSeen {
 			stallSeen = idx
@@ -262,6 +278,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	for done+shed < n {
 		steps++
 		if steps > maxSteps {
+			//lint:ignore hotpath-alloc cold error exit: livelock detection aborts the run
 			return nil, fmt.Errorf("sim: exceeded %d scheduling steps with %d/%d transactions complete (scheduler livelock?)", maxSteps, done, n)
 		}
 
@@ -293,13 +310,16 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 				break
 			}
 			if t.Finished {
+				//lint:ignore hotpath-alloc cold error exit: scheduler contract violation aborts the run
 				return nil, fmt.Errorf("sim: scheduler returned finished transaction %d", t.ID)
 			}
 			if t.Arrival > now {
+				//lint:ignore hotpath-alloc cold error exit: scheduler contract violation aborts the run
 				return nil, fmt.Errorf("sim: scheduler returned transaction %d before its arrival (%v > %v)", t.ID, t.Arrival, now)
 			}
 			for _, other := range running {
 				if other == t {
+					//lint:ignore hotpath-alloc cold error exit: scheduler contract violation aborts the run
 					return nil, fmt.Errorf("sim: scheduler returned transaction %d to two servers", t.ID)
 				}
 			}
@@ -322,6 +342,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 				}
 			}
 			if math.IsInf(next, 1) {
+				//lint:ignore hotpath-alloc cold error exit: deadlock detection aborts the run
 				return nil, fmt.Errorf("sim: no ready transaction and no future arrivals with %d/%d complete (dependency deadlock?)", done, n)
 			}
 			now = next

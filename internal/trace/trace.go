@@ -51,6 +51,7 @@ func (r *Recorder) Record(id txn.ID, start, end float64) {
 			return
 		}
 	}
+	//lint:ignore hotpath-alloc the trace is the product: one slice per contiguous execution, merged when adjacent
 	r.Slices = append(r.Slices, Slice{ID: id, Start: start, End: end})
 }
 

@@ -304,6 +304,7 @@ func (s *Set) Closure(id ID) []ID {
 		}
 	}
 	out := make([]ID, 0, len(seen))
+	//lint:ignore maprange collected IDs are sorted immediately below
 	for id := range seen {
 		out = append(out, id)
 	}

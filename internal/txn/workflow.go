@@ -63,6 +63,8 @@ func (r Representative) Density() float64 {
 // BuildWorkflows derives the workflow set from the dependency lists of s:
 // one workflow per root, containing the root's dependency closure. Workflows
 // are returned sorted by root ID and initialized with all members pending.
+//
+//lint:coldpath workflow construction is per-run setup (scheduler Init)
 func BuildWorkflows(s *Set) []*Workflow {
 	roots := s.Roots()
 	wfs := make([]*Workflow, 0, len(roots))
@@ -90,6 +92,8 @@ func BuildWorkflows(s *Set) []*Workflow {
 // once their dependency lists drain. On an independent workload it coincides
 // with BuildWorkflows, so transaction-level ASETS* (Section III-A) is the
 // same engine run over singleton entities.
+//
+//lint:coldpath workflow construction is per-run setup (scheduler Init)
 func SingletonWorkflows(s *Set) []*Workflow {
 	wfs := make([]*Workflow, s.Len())
 	for i, t := range s.Txns {
@@ -150,6 +154,7 @@ func (w *Workflow) RepresentativeExcluding(exclude ID) Representative {
 		Weight:    math.Inf(-1),
 	}
 	found := false
+	//lint:ignore maprange per-field min/max reduction is commutative; iteration order cannot change the result
 	for _, t := range w.pending {
 		if t.ID == exclude {
 			continue
@@ -185,6 +190,7 @@ func (w *Workflow) RepresentativeExcluding(exclude ID) Representative {
 // state, not only on this workflow's members.
 func (w *Workflow) Head(ready func(*Transaction) bool) *Transaction {
 	var best *Transaction
+	//lint:ignore maprange headBefore is a strict total order with an ID tie-break, so the min is iteration-order independent
 	for _, t := range w.pending {
 		if !ready(t) {
 			continue
@@ -214,6 +220,7 @@ func headBefore(a, b *Transaction) bool {
 // deterministic rendering).
 func (w *Workflow) PendingIDs() []ID {
 	out := make([]ID, 0, len(w.pending))
+	//lint:ignore maprange collected IDs are sorted immediately below
 	for id := range w.pending {
 		out = append(out, id)
 	}
