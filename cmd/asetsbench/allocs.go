@@ -1,0 +1,24 @@
+package main
+
+import "runtime"
+
+// measureAllocs reports heap allocations and bytes per operation for reps
+// executions of fn, via runtime.MemStats deltas. Mallocs and TotalAlloc are
+// monotonic, so the numbers are immune to GC running mid-measurement; a GC
+// beforehand keeps survivors of earlier phases from inflating the first op.
+// Allocation counts on a single-goroutine workload are deterministic, which
+// is what lets BENCH budgets gate on allocs/op tightly while ns/op budgets
+// stay generous.
+func measureAllocs(reps int, fn func() error) (allocsPerOp, bytesPerOp int64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	r := uint64(reps)
+	return int64((after.Mallocs - before.Mallocs) / r), int64((after.TotalAlloc - before.TotalAlloc) / r), nil
+}

@@ -11,8 +11,8 @@
 //	asetsbench -csv out/               # also write one CSV per figure
 //	asetsbench -n 500 -seeds 3         # scale down for a quick look
 //	asetsbench -list                   # list experiment IDs
-//	asetsbench -obs-bench BENCH_obs.json -n 400   # instrumentation overhead
-//	asetsbench -span-bench BENCH_span.json -n 400   # span + sketch overhead
+//	asetsbench -obs-bench BENCH_obs.json   # instrumentation overhead
+//	asetsbench -span-bench BENCH_span.json   # span + sketch overhead
 //	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
 //	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
 package main
@@ -44,6 +44,8 @@ func main() {
 		jsonDir    = flag.String("json", "", "directory to write per-figure JSON results into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		obsBench   = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
+		scaleBench = flag.String("scale-bench", "", "run the 100k-transaction observability scale benchmark with enforced budgets, write JSON to this path, and exit")
+		scaleN     = flag.Int("scale-n", 100000, "transactions for -scale-bench")
 		spanBench  = flag.String("span-bench", "", "benchmark span-builder and sketch overhead, write JSON to this path, and exit")
 		faultBench = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
 		parBench   = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
@@ -61,7 +63,7 @@ func main() {
 	if *obsBench != "" {
 		f, err := os.Create(*obsBench)
 		if err == nil {
-			err = runObsBench(f, *n, 3)
+			err = runObsBench(f, *n, 6)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -73,10 +75,25 @@ func main() {
 		return
 	}
 
+	if *scaleBench != "" {
+		f, err := os.Create(*scaleBench)
+		if err == nil {
+			err = runScaleBench(f, *scaleN)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: scale-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *spanBench != "" {
 		f, err := os.Create(*spanBench)
 		if err == nil {
-			err = runSpanBench(f, *n, 3)
+			err = runSpanBench(f, *n, 6)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

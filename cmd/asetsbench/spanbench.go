@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -24,13 +25,21 @@ type spanBenchResult struct {
 	SpansSketchNsPerOp int64   `json:"spans_sketch_ns_per_op"` // span builder + windowed sketches
 	SpansOverheadPct   float64 `json:"spans_overhead_pct"`
 	SketchOverheadPct  float64 `json:"spans_sketch_overhead_pct"`
-	RunsPerBatch       int     `json:"runs_per_batch"`
-	Batches            int     `json:"batches"`
+	// Per-configuration allocation profile of one full run (heap allocations
+	// and bytes), so allocation regressions are visible independently of ns.
+	BaselineAllocsPerOp    int64 `json:"baseline_allocs_per_op"`
+	BaselineBytesPerOp     int64 `json:"baseline_bytes_per_op"`
+	SpansAllocsPerOp       int64 `json:"spans_allocs_per_op"`
+	SpansBytesPerOp        int64 `json:"spans_bytes_per_op"`
+	SpansSketchAllocsPerOp int64 `json:"spans_sketch_allocs_per_op"`
+	SpansSketchBytesPerOp  int64 `json:"spans_sketch_bytes_per_op"`
+	RunsPerBatch           int   `json:"runs_per_batch"`
+	Batches                int   `json:"batches"`
 }
 
 // runSpanBench measures full sim.Run calls with the span pipeline off, on,
 // and on with sketch observation. Batches interleave round-robin across the
-// three configurations with best-of selection, as in runObsBench, so
+// three configurations with min-of-runs selection, as in runObsBench, so
 // machine-wide drift biases all configurations equally.
 func runSpanBench(w io.Writer, n, reps int) error {
 	cfg := workload.Default(0.9, 1).WithWorkflows(4, 1).WithWeights()
@@ -53,20 +62,28 @@ func runSpanBench(w io.Writer, n, reps int) error {
 			})}
 		},
 	}
-	runBatch := func(mk func() sim.Config, runs int) (time.Duration, error) {
-		start := time.Now()
+	// Runs are timed individually with min-of-runs selection, and each batch
+	// starts from a flushed GC state, for the reasons given on runObsBench's
+	// batch runner.
+	runBatch := func(mk func() sim.Config, runs int, best time.Duration) (time.Duration, error) {
+		runtime.GC()
 		for j := 0; j < runs; j++ {
+			start := time.Now()
 			if _, err := sim.New(mk()).Run(set, core.New()); err != nil {
 				return 0, err
 			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
 		}
-		return time.Since(start), nil
+		return best, nil
 	}
 
-	warmup, err := runBatch(configs[0], 1)
-	if err != nil {
+	warmupStart := time.Now()
+	if _, err := runBatch(configs[0], 1, 0); err != nil {
 		return err
 	}
+	warmup := time.Since(warmupStart)
 	runs := int(50 * time.Millisecond / (warmup + 1))
 	if runs < 10 {
 		runs = 10
@@ -76,17 +93,15 @@ func runSpanBench(w io.Writer, n, reps int) error {
 	best := make([]time.Duration, len(configs))
 	for round := 0; round < batches; round++ {
 		for i, mk := range configs {
-			d, err := runBatch(mk, runs)
+			d, err := runBatch(mk, runs, best[i])
 			if err != nil {
 				return err
 			}
-			if best[i] == 0 || d < best[i] {
-				best[i] = d
-			}
+			best[i] = d
 		}
 	}
 
-	nsPerOp := func(i int) int64 { return best[i].Nanoseconds() / int64(runs) }
+	nsPerOp := func(i int) int64 { return best[i].Nanoseconds() }
 	baseline, spans, sketch := nsPerOp(0), nsPerOp(1), nsPerOp(2)
 	pct := func(v int64) float64 {
 		return 100 * (float64(v) - float64(baseline)) / float64(baseline)
@@ -100,6 +115,21 @@ func runSpanBench(w io.Writer, n, reps int) error {
 		SketchOverheadPct:  pct(sketch),
 		RunsPerBatch:       runs,
 		Batches:            batches,
+	}
+	allocs := func(mk func() sim.Config) (int64, int64, error) {
+		return measureAllocs(5, func() error {
+			_, err := sim.New(mk()).Run(set, core.New())
+			return err
+		})
+	}
+	if res.BaselineAllocsPerOp, res.BaselineBytesPerOp, err = allocs(configs[0]); err != nil {
+		return err
+	}
+	if res.SpansAllocsPerOp, res.SpansBytesPerOp, err = allocs(configs[1]); err != nil {
+		return err
+	}
+	if res.SpansSketchAllocsPerOp, res.SpansSketchBytesPerOp, err = allocs(configs[2]); err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -177,14 +177,17 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 			e.initErr = err
 		}
 	}
-	if e.inj != nil || e.ctrl != nil {
-		e.rec = fault.NewRecorder(opts.Sink, opts.Metrics)
-	}
 	set.ResetAll()
 	// Decision-loop instrumentation: a no-op pass-through when neither a
 	// sink nor a registry is configured.
 	s = sched.Instrument(s, opts.Sink, opts.Metrics)
 	s.Init(set)
+	if e.inj != nil || e.ctrl != nil {
+		// Route recorder events through the instrumented scheduler's staged
+		// event entry so they stay in emission order with decision events
+		// while sink delivery is batched.
+		e.rec = fault.NewRecorder(sched.EventSink(s, opts.Sink), opts.Metrics)
+	}
 	e.sched = s
 	e.stats = Stats{Running: -1}
 	return e
@@ -354,8 +357,15 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		return e.inj.NextStallStart(now)
 	}
 
-	// sleepUntil waits for a clock instant, honouring cancellation.
+	// sleepUntil waits for a clock instant, honouring cancellation. Staged
+	// events are delivered first, so live readers (the ring, SSE streams)
+	// see every decision up to the instant the executor pauses — the loop
+	// passes through here at least once per dispatch, which bounds event
+	// delivery lag to a single decision step.
 	sleepUntil := func(at time.Time) error {
+		if fl, ok := e.sched.(sched.ObsFlusher); ok {
+			fl.FlushObs()
+		}
 		d := at.Sub(clock.Now())
 		if d <= 0 {
 			return ctx.Err()
@@ -364,6 +374,13 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 	}
 
 	defer func() {
+		// Drain batched instrumentation buffers before the run is marked
+		// done, so anything reading the registry after completion sees every
+		// observation. This runs on the executor goroutine, the only emitter,
+		// so it cannot race with in-flight emission.
+		if fl, ok := e.sched.(sched.ObsFlusher); ok {
+			fl.FlushObs()
+		}
 		e.mu.Lock()
 		e.done = true
 		e.stats.Running = -1

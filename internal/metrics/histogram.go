@@ -14,6 +14,8 @@ import (
 // run produces.
 type Histogram struct {
 	base    float64
+	logBase float64 // precomputed math.Log(base); the index divisor
+	pow2    bool    // base == 2: index via exponent extraction, no Log calls
 	zero    int
 	buckets []int
 	n       int
@@ -29,7 +31,7 @@ func NewHistogram(base float64) *Histogram {
 	if base <= 1 || math.IsNaN(base) || math.IsInf(base, 0) {
 		panic(fmt.Sprintf("metrics: histogram base %v must be > 1", base))
 	}
-	return &Histogram{base: base}
+	return &Histogram{base: base, logBase: math.Log(base), pow2: base == 2}
 }
 
 // Add records one observation. Negative values panic: tardiness and
@@ -48,15 +50,78 @@ func (h *Histogram) Add(v float64) {
 		h.zero++
 		return
 	}
-	idx := int(math.Floor(math.Log(v) / math.Log(h.base)))
+	var idx int
+	if h.pow2 {
+		// floor(log2(v)) extracted from the float representation: Frexp
+		// yields v = frac × 2^exp with frac in [0.5, 1), so the floor is
+		// exactly exp-1 — no transcendental call on the observation path,
+		// and exact at bucket boundaries where Log would round.
+		_, exp := math.Frexp(v)
+		idx = exp - 1
+	} else {
+		idx = int(math.Floor(math.Log(v) / h.logBase))
+	}
 	if idx < 0 {
 		idx = 0 // sub-unit values share the first bucket
 	}
-	for len(h.buckets) <= idx {
-		//lint:ignore hotpath-alloc buckets grow to ~log_base(max) entries during warm-up, then stay fixed
-		h.buckets = append(h.buckets, 0)
+	if len(h.buckets) <= idx {
+		h.extend(idx)
 	}
 	h.buckets[idx]++
+}
+
+// AddBatch records every observation in vs, in slice order — exactly
+// equivalent to calling Add on each value (same left-fold sum), provided as
+// the flush target for batched observers. The aggregate state rides in
+// locals across the loop and is stored back once, which is what the batch
+// saves over per-value Add beyond call overhead.
+func (h *Histogram) AddBatch(vs []float64) {
+	n, zero := h.n, h.zero
+	sum, max := h.sum, h.max
+	pow2, logBase := h.pow2, h.logBase
+	buckets := h.buckets
+	for _, v := range vs {
+		if v < 0 || math.IsNaN(v) {
+			panic(fmt.Sprintf("metrics: histogram observation %v must be non-negative", v))
+		}
+		n++
+		sum += v
+		if v > max {
+			max = v
+		}
+		if v == 0 {
+			zero++
+			continue
+		}
+		var idx int
+		if pow2 {
+			_, exp := math.Frexp(v)
+			idx = exp - 1
+		} else {
+			idx = int(math.Floor(math.Log(v) / logBase))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if len(buckets) <= idx {
+			h.extend(idx)
+			buckets = h.buckets
+		}
+		buckets[idx]++
+	}
+	h.n, h.zero = n, zero
+	h.sum, h.max = sum, max
+}
+
+// extend grows the bucket array until idx is addressable. Warm-up-only:
+// buckets reach ~log_base(max) entries, then stay fixed, keeping the
+// steady-state observation path allocation-free.
+//
+//lint:coldpath bucket growth runs only during warm-up; steady-state Add never reaches it
+func (h *Histogram) extend(idx int) {
+	for len(h.buckets) <= idx {
+		h.buckets = append(h.buckets, 0)
+	}
 }
 
 // Merge folds other into h: counts and bucket occupancies add, the running

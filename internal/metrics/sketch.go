@@ -65,7 +65,20 @@ func (s *Sketch) Add(v float64) {
 		s.zero++
 		return
 	}
-	s.grow(s.index(v))
+	idx := s.index(v)
+	if idx < s.lo || idx >= s.lo+len(s.buckets) {
+		s.extend(idx)
+	}
+	s.buckets[idx-s.lo]++
+}
+
+// AddBatch records every observation in vs, in slice order. It is exactly
+// equivalent to calling Add on each value — the running sum is the same
+// left-fold — and exists as the flush target for batched observers.
+func (s *Sketch) AddBatch(vs []float64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
 }
 
 // index maps a positive value to its bucket: the smallest i with
@@ -81,25 +94,27 @@ func (s *Sketch) index(v float64) int {
 	return idx
 }
 
-// grow increments bucket idx, extending the dense backing array as needed.
-func (s *Sketch) grow(idx int) {
+// extend reshapes the dense backing array so bucket idx is addressable:
+// seeding on first use, padding downward, or growing upward. This is
+// warm-up-only work — once the array covers the data's dynamic range, Add
+// never calls it again, which is what keeps the steady-state observation
+// path allocation-free.
+//
+//lint:coldpath bucket-range extension runs only until the array covers [lo, hi]; steady-state Add never reaches it
+func (s *Sketch) extend(idx int) {
 	if len(s.buckets) == 0 {
 		s.lo = idx
-		//lint:ignore hotpath-alloc first observation seeds the backing array; runs once per sketch
-		s.buckets = []int64{1}
+		s.buckets = append(s.buckets, 0)
 		return
 	}
 	if idx < s.lo {
 		pad := make([]int64, s.lo-idx)
-		//lint:ignore hotpath-alloc downward extension is amortized: the array covers [lo, hi] after warm-up
 		s.buckets = append(pad, s.buckets...)
 		s.lo = idx
 	}
 	for idx >= s.lo+len(s.buckets) {
-		//lint:ignore hotpath-alloc upward extension is amortized: the array covers [lo, hi] after warm-up
 		s.buckets = append(s.buckets, 0)
 	}
-	s.buckets[idx-s.lo]++
 }
 
 // Merge folds other into s: zero and bucket counts add cell by cell, the
@@ -124,8 +139,10 @@ func (s *Sketch) Merge(other *Sketch) error {
 	for i, c := range other.buckets {
 		if c != 0 {
 			idx := other.lo + i
-			s.grow(idx)
-			s.buckets[idx-s.lo] += c - 1 // grow already added 1
+			if idx < s.lo || idx >= s.lo+len(s.buckets) {
+				s.extend(idx)
+			}
+			s.buckets[idx-s.lo] += c
 		}
 	}
 	return nil

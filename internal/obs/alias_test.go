@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// aliasBatch returns a small event batch in a caller-owned buffer, the way
+// the instrumentation layer stages events: the same backing array is reused
+// for every batch, so sinks must capture by copy.
+func aliasBatch(start int) []Event {
+	evs := make([]Event, 4)
+	for i := range evs {
+		evs[i] = Event{
+			Time:     float64(start + i),
+			Kind:     KindArrival,
+			Txn:      txn.ID(start + i),
+			Workflow: -1,
+			Deadline: float64(start + i + 10),
+		}
+	}
+	return evs
+}
+
+// TestRingBatchReuseDoesNotAliasSnapshot overwrites the emitted batch buffer
+// after EmitSharedBatch returns and checks the ring's retained copies do not
+// move — the borrow contract that makes the zero-allocation staging buffer
+// safe.
+func TestRingBatchReuseDoesNotAliasSnapshot(t *testing.T) {
+	r := NewRing(16)
+	buf := aliasBatch(0)
+	r.EmitSharedBatch(buf)
+	before := r.Snapshot(0)
+	for i := range buf {
+		buf[i] = Event{Time: -1, Kind: KindDeadlineMiss, Txn: -1, Workflow: -1, Detail: "clobbered"}
+	}
+	after := r.Snapshot(0)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("snapshot changed after batch buffer reuse:\nbefore %+v\nafter  %+v", before, after)
+	}
+	for _, ev := range after {
+		if ev.Detail == "clobbered" || ev.Time < 0 {
+			t.Fatalf("ring retained an aliased event: %+v", ev)
+		}
+	}
+}
+
+// TestRingBatchMatchesSingleEmit feeds the same stream once event-at-a-time
+// and once in uneven batches (forcing mid-batch wraps) and requires the two
+// rings to retain identical contents, Seq stamps included.
+func TestRingBatchMatchesSingleEmit(t *testing.T) {
+	single, batched := NewRing(8), NewRing(8)
+	stream := aliasBatch(0)
+	stream = append(stream, aliasBatch(4)...)
+	stream = append(stream, aliasBatch(8)...) // 12 events through a cap-8 ring
+
+	for i := range stream {
+		single.EmitShared(&stream[i])
+	}
+	for lo := 0; lo < len(stream); {
+		hi := lo + 5 // uneven chunks: 5,5,2 — wraps land mid-batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		batched.EmitSharedBatch(stream[lo:hi])
+		lo = hi
+	}
+
+	if single.Total() != batched.Total() {
+		t.Fatalf("totals differ: single %d, batched %d", single.Total(), batched.Total())
+	}
+	if got, want := batched.Snapshot(0), single.Snapshot(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched ring diverged from single-emit ring:\nbatched %+v\nsingle  %+v", got, want)
+	}
+}
+
+// TestRingBatchLargerThanCapacity pushes one batch bigger than the ring and
+// checks the newest events win, exactly as event-at-a-time emission would
+// leave them.
+func TestRingBatchLargerThanCapacity(t *testing.T) {
+	r := NewRing(4)
+	stream := append(aliasBatch(0), aliasBatch(4)...) // 8 events, cap 4
+	r.EmitSharedBatch(stream)
+	if r.Total() != 8 {
+		t.Fatalf("total %d, want 8", r.Total())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap))
+	}
+	for i, ev := range snap { // newest first: txns 7,6,5,4 with Seq 7,6,5,4
+		if want := txn.ID(7 - i); ev.Txn != want || ev.Seq != uint64(7-i) {
+			t.Fatalf("snapshot[%d] = txn %d seq %d, want txn %d seq %d", i, ev.Txn, ev.Seq, want, want)
+		}
+	}
+}
+
+// TestCollectorBatchReuseDoesNotAlias is the Collector-side aliasing
+// regression: mutating the batch buffer after emission must not reach the
+// collected stream, and batched appends must stamp the same Seq values as
+// single emits.
+func TestCollectorBatchReuseDoesNotAlias(t *testing.T) {
+	c := &Collector{}
+	buf := aliasBatch(0)
+	c.EmitSharedBatch(buf)
+	for i := range buf {
+		buf[i].Detail = "clobbered"
+	}
+	c.EmitSharedBatch(buf[:1])
+	evs := c.Events()
+	if len(evs) != 5 {
+		t.Fatalf("collected %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if i < 4 && ev.Detail == "clobbered" {
+			t.Fatalf("collector aliased the reused batch buffer: %+v", ev)
+		}
+	}
+}
+
+// countingSink implements only the plain Sink interface, so the emitter must
+// fall back to its per-event loop binding for batches.
+type countingSink struct {
+	evs []Event
+}
+
+func (s *countingSink) Emit(ev Event) { s.evs = append(s.evs, ev) }
+
+// TestEmitterBatchFansOutInOrder checks EmitBatch reaches every endpoint of
+// a mixed fan-out — batch-native (Ring), shared (Collector via its batch
+// binding) and plain Sink — in emission order.
+func TestEmitterBatchFansOutInOrder(t *testing.T) {
+	ring := NewRing(16)
+	col := &Collector{}
+	plain := &countingSink{}
+	em := NewEmitter(Tee(ring, col, plain))
+	if em.Sinks() != 3 {
+		t.Fatalf("emitter bound %d sinks, want 3", em.Sinks())
+	}
+
+	batch := aliasBatch(0)
+	em.EmitBatch(batch)
+	em.EmitBatch(batch[:0]) // empty batch is a no-op, not a panic
+
+	if got := col.Events(); len(got) != len(batch) {
+		t.Fatalf("collector got %d events, want %d", len(got), len(batch))
+	}
+	if len(plain.evs) != len(batch) {
+		t.Fatalf("plain sink got %d events, want %d", len(plain.evs), len(batch))
+	}
+	for i := range batch {
+		if plain.evs[i].Txn != batch[i].Txn {
+			t.Fatalf("plain sink out of order at %d: %+v", i, plain.evs[i])
+		}
+		if col.Events()[i].Txn != batch[i].Txn {
+			t.Fatalf("collector out of order at %d: %+v", i, col.Events()[i])
+		}
+	}
+	snap := ring.Snapshot(0)
+	for i, ev := range snap { // newest first
+		if want := batch[len(batch)-1-i].Txn; ev.Txn != want {
+			t.Fatalf("ring out of order at %d: txn %d, want %d", i, ev.Txn, want)
+		}
+	}
+}
+
+// TestSpanSnapshotImmuneToPoolReuse takes a deep snapshot, then keeps
+// emitting until Keep-compaction recycles the snapshotted span's pooled
+// storage, and requires the held snapshot to stay bit-identical — the
+// mutate-after-emit regression for the span arena.
+func TestSpanSnapshotImmuneToPoolReuse(t *testing.T) {
+	set := spanTestSet(t)
+	b := NewSpanBuilder(set, SpanOptions{Keep: 1})
+	emitAll(b, []Event{
+		{Time: 0, Kind: KindArrival, Txn: 0, Workflow: -1, Deadline: 10},
+		{Time: 0, Kind: KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 4, Kind: KindCompletion, Txn: 0, Workflow: -1},
+	})
+	snap := b.Snapshot(0)
+	if len(snap) != 1 || snap[0].Txn != 0 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	held := Span{}
+	held = snap[0]
+	held.Segments = append([]Segment(nil), snap[0].Segments...)
+
+	// Two more lifecycles: Keep=1 compaction recycles txn 0's span and its
+	// segment storage into the free list, where txn 3 reuses it.
+	emitAll(b, []Event{
+		{Time: 4, Kind: KindArrival, Txn: 2, Workflow: -1, Deadline: 12},
+		{Time: 4, Kind: KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 6, Kind: KindCompletion, Txn: 2, Workflow: -1},
+		{Time: 6, Kind: KindArrival, Txn: 3, Workflow: -1, Deadline: 30},
+		{Time: 6, Kind: KindDispatch, Txn: 3, Workflow: -1},
+		{Time: 11, Kind: KindCompletion, Txn: 3, Workflow: -1},
+	})
+
+	if snap[0].Txn != held.Txn || snap[0].Finish != held.Finish || snap[0].Response != held.Response {
+		t.Fatalf("held snapshot mutated by pool reuse: %+v, want %+v", snap[0], held)
+	}
+	if !reflect.DeepEqual(snap[0].Segments, held.Segments) {
+		t.Fatalf("held snapshot segments mutated by pool reuse: %+v, want %+v", snap[0].Segments, held.Segments)
+	}
+	checkSpanInvariants(t, snap[0])
+}
+
+// TestPooledEmitHammer is the -race target for the pooled event path: one
+// writer reusing a single staging buffer for every batch — exactly what the
+// scheduler wrapper does — against concurrent snapshot readers on the ring,
+// the collector and the span builder.
+func TestPooledEmitHammer(t *testing.T) {
+	txns := make([]*txn.Transaction, 256)
+	for i := range txns {
+		txns[i] = &txn.Transaction{
+			ID: txn.ID(i), Arrival: float64(i), Deadline: float64(i + 10),
+			Length: 1, Weight: 1, Remaining: 1,
+		}
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing(64)
+	col := &Collector{}
+	sb := NewSpanBuilder(set, SpanOptions{Keep: 16})
+	em := NewEmitter(Tee(ring, col, sb))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ring.Snapshot(16)
+				ring.Total()
+				if n := len(col.Events()); n < 0 {
+					panic("unreachable")
+				}
+				sb.Snapshot(8)
+				sb.Total()
+			}
+		}()
+	}
+
+	var buf [3]Event // reused staging buffer, as in the scheduler wrapper
+	for i := range txns {
+		at := float64(i)
+		id := txn.ID(i)
+		buf[0] = Event{Time: at, Kind: KindArrival, Txn: id, Workflow: -1, Deadline: at + 10}
+		buf[1] = Event{Time: at, Kind: KindDispatch, Txn: id, Workflow: -1}
+		buf[2] = Event{Time: at + 1, Kind: KindCompletion, Txn: id, Workflow: -1}
+		em.EmitBatch(buf[:])
+	}
+	close(stop)
+	wg.Wait()
+
+	if ring.Total() != uint64(3*len(txns)) {
+		t.Fatalf("ring total %d, want %d", ring.Total(), 3*len(txns))
+	}
+	if got := sb.Total(); got != uint64(len(txns)) {
+		t.Fatalf("span total %d, want %d", got, len(txns))
+	}
+}

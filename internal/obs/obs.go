@@ -29,6 +29,7 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"unsafe"
 
 	"repro/internal/txn"
 )
@@ -224,6 +225,27 @@ type Sink interface {
 	Emit(Event)
 }
 
+// SharedSink is the zero-copy variant of Sink: EmitShared receives a pointer
+// to an event the caller owns and will reuse for the next emission. The sink
+// borrows the event only for the duration of the call — anything it retains
+// must be captured by copy before returning (Ring and Collector store a copy
+// in their own buffers; the SSE hub copies into each subscriber channel).
+// Every in-repo sink implements it; Emitter binds EmitShared directly so the
+// enabled fast path never boxes an Event into an interface argument.
+type SharedSink interface {
+	EmitShared(*Event)
+}
+
+// BatchSink is the batched variant of SharedSink: EmitSharedBatch receives a
+// slice of events the caller owns and will overwrite for its next batch. The
+// borrow contract is the same as EmitShared's — anything retained must be
+// captured by copy before returning — but the sink amortizes its per-event
+// synchronization (one lock acquisition per batch instead of per event).
+// Events must be applied in slice order; the slice is never empty.
+type BatchSink interface {
+	EmitSharedBatch([]Event)
+}
+
 // discard is the no-op sink.
 type discard struct{}
 
@@ -265,34 +287,61 @@ func (t tee) Emit(ev Event) {
 // concurrent readers — the backing store of the server's /events endpoint.
 type Ring struct {
 	mu   sync.Mutex
-	buf  []Event
-	next int    // slot the next event lands in once the ring is full
-	seq  uint64 // total events ever emitted; also the next Seq stamp
+	buf  []Event // full-length (len == cap); slots [0, min(seq, cap)) are filled
+	next int     // slot the next event lands in
+	seq  uint64  // total events ever emitted; also the next Seq stamp
 	cap  int
 }
 
-// NewRing returns a ring retaining the newest capacity events.
+// NewRing returns a ring retaining the newest capacity events. The buffer is
+// allocated at full length up front, so the emit path indexes into it and
+// never appends.
 func NewRing(capacity int) *Ring {
 	if capacity < 1 {
 		panic(fmt.Sprintf("obs: ring capacity %d must be positive", capacity))
 	}
-	return &Ring{cap: capacity, buf: make([]Event, 0, capacity)}
+	return &Ring{cap: capacity, buf: make([]Event, capacity)}
 }
 
 // Cap returns the ring's capacity.
 func (r *Ring) Cap() int { return r.cap }
 
 // Emit implements Sink.
-func (r *Ring) Emit(ev Event) {
+func (r *Ring) Emit(ev Event) { r.EmitShared(&ev) }
+
+// EmitShared implements SharedSink: the borrowed event is captured by copy
+// into the ring's own slot before the call returns. The Seq stamp is not
+// stored — a retained event's sequence number is its emission position,
+// recomputed from the ring counters by Snapshot, so the emit path does no
+// per-event work beyond the copy itself.
+func (r *Ring) EmitShared(ev *Event) {
 	r.mu.Lock()
-	ev.Seq = r.seq
+	r.buf[r.next] = *ev
 	r.seq++
-	if len(r.buf) < r.cap {
-		//lint:ignore hotpath-alloc buf is preallocated to cap in NewRing; this append never reallocates
-		r.buf = append(r.buf, ev)
-	} else {
-		r.buf[r.next] = ev
-		r.next = (r.next + 1) % r.cap
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+	}
+	r.mu.Unlock()
+}
+
+// EmitSharedBatch implements BatchSink: the whole batch is captured under one
+// lock acquisition, in slice order. Each contiguous chunk lands via one
+// copy() — one write-barrier sweep per chunk where per-event struct
+// assignments pay it per event — and Seq stamping is deferred to Snapshot,
+// so the locked section is nothing but the bulk copies.
+//
+//lint:hotpath
+func (r *Ring) EmitSharedBatch(evs []Event) {
+	r.mu.Lock()
+	r.seq += uint64(len(evs))
+	for len(evs) > 0 {
+		c := copy(r.buf[r.next:r.cap], evs)
+		r.next += c
+		if r.next == r.cap {
+			r.next = 0
+		}
+		evs = evs[c:]
 	}
 	r.mu.Unlock()
 }
@@ -304,20 +353,31 @@ func (r *Ring) Total() uint64 {
 	return r.seq
 }
 
+// RetainedBytes estimates the memory the ring pins for its event buffer.
+func (r *Ring) RetainedBytes() int {
+	return r.cap * int(unsafe.Sizeof(Event{}))
+}
+
 // Snapshot returns up to limit retained events, newest first. limit <= 0
-// means everything retained.
+// means everything retained. Seq stamps are applied here, to the returned
+// copies: the i-th newest retained event was emission number seq-1-i, so the
+// stamp is pure arithmetic and the emit path never stores it.
 func (r *Ring) Snapshot(limit int) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := len(r.buf)
+	n := r.cap
+	if r.seq < uint64(r.cap) {
+		n = int(r.seq)
+	}
 	if limit <= 0 || limit > n {
 		limit = n
 	}
 	out := make([]Event, 0, limit)
 	for i := 0; i < limit; i++ {
-		// Newest element sits just before next (mod n).
-		idx := (r.next - 1 - i + 2*n) % n
+		// Newest element sits just before next (mod cap).
+		idx := (r.next - 1 - i + 2*r.cap) % r.cap
 		out = append(out, r.buf[idx])
+		out[i].Seq = r.seq - 1 - uint64(i)
 	}
 	return out
 }
@@ -330,11 +390,28 @@ type Collector struct {
 }
 
 // Emit implements Sink.
-func (c *Collector) Emit(ev Event) {
+func (c *Collector) Emit(ev Event) { c.EmitShared(&ev) }
+
+// EmitShared implements SharedSink: the borrowed event is captured by copy
+// into the collector's backing store, with the Seq stamp applied to the
+// stored copy only.
+func (c *Collector) EmitShared(ev *Event) {
 	c.mu.Lock()
-	ev.Seq = uint64(len(c.events))
 	//lint:ignore hotpath-alloc Collector retains the full stream by design (timeline export, post-run analysis)
-	c.events = append(c.events, ev)
+	c.events = append(c.events, *ev)
+	c.events[len(c.events)-1].Seq = uint64(len(c.events) - 1)
+	c.mu.Unlock()
+}
+
+// EmitSharedBatch implements BatchSink: the whole batch is appended under one
+// lock acquisition, in slice order.
+func (c *Collector) EmitSharedBatch(evs []Event) {
+	c.mu.Lock()
+	for i := range evs {
+		//lint:ignore hotpath-alloc Collector retains the full stream by design (timeline export, post-run analysis)
+		c.events = append(c.events, evs[i])
+		c.events[len(c.events)-1].Seq = uint64(len(c.events) - 1)
+	}
 	c.mu.Unlock()
 }
 
@@ -361,6 +438,10 @@ type JSONLWriter struct {
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{w: bufio.NewWriter(w)}
 }
+
+// EmitShared implements SharedSink. The encoder works on a local copy, so
+// the borrowed event is never mutated.
+func (j *JSONLWriter) EmitShared(ev *Event) { j.Emit(*ev) }
 
 // Emit implements Sink.
 func (j *JSONLWriter) Emit(ev Event) {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOverheadStats(t *testing.T) {
+	ov := NewOverhead()
+	ov.CountEvent()
+	ov.CountEvent()
+	ov.AddNanos(40)
+	ov.AddNanos(2)
+	ov.CountPoolHit()
+	ov.CountPoolHit()
+	ov.CountPoolHit()
+	ov.CountPoolMiss()
+	got := ov.Stats()
+	want := OverheadStats{Events: 2, InstrNanos: 42, PoolHits: 3, PoolMisses: 1}
+	if got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+}
+
+// TestTimedAttributesTime drives a Timed sink with a deterministic fake
+// clock that advances 1µs per reading: each event takes two readings
+// (before/after fan-out), so exactly 1µs per event is attributed.
+func TestTimedAttributesTime(t *testing.T) {
+	col := &Collector{}
+	ov := NewOverhead()
+	clock := time.Unix(0, 0)
+	now := func() time.Time {
+		clock = clock.Add(time.Microsecond)
+		return clock
+	}
+	timed := NewTimed(col, ov, now)
+	for i := 0; i < 3; i++ {
+		timed.Emit(Event{Time: float64(i), Kind: KindArrival, Txn: -1, Workflow: -1})
+	}
+	if n := len(col.Events()); n != 3 {
+		t.Fatalf("inner sink got %d events, want 3", n)
+	}
+	stats := ov.Stats()
+	if stats.Events != 3 {
+		t.Fatalf("events counted %d, want 3", stats.Events)
+	}
+	if stats.InstrNanos != 3*time.Microsecond.Nanoseconds() {
+		t.Fatalf("attributed %dns, want 3000ns", stats.InstrNanos)
+	}
+}
+
+// TestTimedNilClock: without a clock the wrapper counts events but never
+// attributes time — the FakeClock/determinism configuration.
+func TestTimedNilClock(t *testing.T) {
+	col := &Collector{}
+	ov := NewOverhead()
+	timed := NewTimed(col, ov, nil)
+	ev := Event{Time: 1, Kind: KindDispatch, Txn: 0, Workflow: -1}
+	timed.EmitShared(&ev)
+	if n := len(col.Events()); n != 1 {
+		t.Fatalf("inner sink got %d events, want 1", n)
+	}
+	stats := ov.Stats()
+	if stats.Events != 1 || stats.InstrNanos != 0 {
+		t.Fatalf("stats %+v, want 1 event and zero nanos", stats)
+	}
+}
+
+func TestReadRuntimeSample(t *testing.T) {
+	s := ReadRuntimeSample()
+	if s.HeapBytes == 0 {
+		t.Error("heap bytes gauge read as zero")
+	}
+	if s.Goroutines == 0 {
+		t.Error("goroutine gauge read as zero")
+	}
+}

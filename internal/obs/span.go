@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"repro/internal/txn"
 )
@@ -17,6 +18,16 @@ import (
 // lifetime, parent/child links from the workflow DAG, and a tardiness
 // attribution that sums bit-exactly to the span's response time (see the
 // Attribution invariant below and docs/OBSERVABILITY.md).
+//
+// The builder is engineered for the zero-allocation fast path: open-span
+// state lives in a dense array indexed by transaction ID (no map, no per-txn
+// tracking allocation), span and starter-segment storage bump-allocates from
+// arenas preallocated at construction, closed spans recycle through a free
+// list once the Keep bound compacts them, windowed sketch cells are interned
+// by dense (window, class, mode) indices instead of per-completion formatted
+// names, and sketch inserts batch through fixed inline buffers that flush
+// whenever the builder drains. docs/OBSERVABILITY.md ("Overhead budgets") carries the
+// enforced numbers.
 
 // SegmentKind classifies one stretch of a transaction's lifetime.
 type SegmentKind int
@@ -92,7 +103,9 @@ type Span struct {
 	Txn      txn.ID
 	Workflow int
 	// Parents are the transaction's direct dependencies; Children the
-	// transactions that directly depend on it (the causal DAG edges).
+	// transactions that directly depend on it (the causal DAG edges). Both
+	// alias the immutable workload set's slices and must be treated as
+	// read-only.
 	Parents  []txn.ID
 	Children []txn.ID
 	// Weight is w_i; Class its weight class (light/medium/heavy); Mode the
@@ -223,22 +236,30 @@ const (
 // WindowMetric returns the registered name of a windowed sketch cell, e.g.
 // `asets_window_tardiness{window="0003",class="heavy",mode="edf"}`. The
 // window index is zero-padded so registry name sorting orders cells by time.
+// It is called only at cell-registration time (newCell); per-completion
+// lookups go through the interned cellKey index instead.
 func WindowMetric(kind string, window int, class, mode string) string {
-	//lint:ignore hotpath-alloc cell names are formatted once per completion; the registry lookup they key dominates
 	return fmt.Sprintf("asets_window_%s{window=%q,class=%q,mode=%q}",
 		kind, fmt.Sprintf("%04d", window), class, mode)
 }
 
+// classNames are the SLA weight classes of the windowed exports, indexed by
+// weightClassIdx.
+var classNames = [3]string{"light", "medium", "heavy"}
+
 // WeightClass buckets a transaction weight into the three SLA classes the
 // windowed exports are keyed by (paper weights are integers in [1, 10]).
-func WeightClass(w float64) string {
+func WeightClass(w float64) string { return classNames[weightClassIdx(w)] }
+
+// weightClassIdx is WeightClass as a dense cell index.
+func weightClassIdx(w float64) int8 {
 	switch {
 	case w < 4:
-		return "light"
+		return 0
 	case w < 8:
-		return "medium"
+		return 1
 	default:
-		return "heavy"
+		return 2
 	}
 }
 
@@ -254,35 +275,127 @@ type SpanOptions struct {
 	// Alpha is the sketch relative accuracy (default 0.01).
 	Alpha float64
 	// Keep bounds the number of retained closed spans (0 = unlimited); the
-	// server sets it so long replays don't grow without bound.
+	// server sets it so long replays don't grow without bound. With a Keep
+	// bound, compacted-away spans recycle through a free list, so steady
+	// state allocates no new Span or Segment storage.
 	Keep int
+	// Overhead, when non-nil, receives span-pool hit/miss self-telemetry.
+	Overhead *Overhead
 }
 
-// spanState is the in-flight state machine of one open span.
+// spanState is the in-flight state machine of one open span. States live in
+// a dense array indexed by transaction ID (txn.Set guarantees dense IDs), so
+// tracking an open span needs no map operation and no allocation.
 type spanState struct {
 	span     *Span
-	cur      SegmentKind
 	curStart float64
+	cur      SegmentKind
+	classIdx int8
+	active   bool
 }
 
-// SpanBuilder folds the decision event stream into spans. It is a Sink; like
-// Ring it locks internally, so the single emitting goroutine can run while
-// HTTP handlers snapshot. Events must arrive in stream order (the order
-// every in-repo emitter produces).
+// spanBatchSize is the per-sketch insert buffer length: observations
+// accumulate in a fixed inline array and flush under one sketch lock when
+// the buffer fills or the builder drains.
+const spanBatchSize = 64
+
+// batch is a fixed-capacity insert buffer for one sketch. Values reach the
+// sketch in exact insertion order whether they leave via a full-buffer flush
+// or a drain, so running sums stay bit-identical to unbatched observation.
+type batch struct {
+	n   int
+	buf [spanBatchSize]float64
+}
+
+// push buffers v, flushing into s when the buffer fills.
+func (p *batch) push(s *Sketch, v float64) {
+	p.buf[p.n] = v
+	p.n++
+	if p.n == spanBatchSize {
+		s.ObserveBatch(p.buf[:])
+		p.n = 0
+	}
+}
+
+// windowCell holds the three resolved sketch handles of one
+// (window, class, mode) cell — interned once, so completions never rebuild
+// the formatted metric names — plus their pending insert buffers.
+type windowCell struct {
+	tard, resp, slow *Sketch
+	bT, bR, bS       batch
+	dirty            bool
+}
+
+// flush drains the cell's pending buffers into their sketches.
+func (c *windowCell) flush() {
+	if c.bT.n > 0 {
+		c.tard.ObserveBatch(c.bT.buf[:c.bT.n])
+		c.bT.n = 0
+	}
+	if c.bR.n > 0 {
+		c.resp.ObserveBatch(c.bR.buf[:c.bR.n])
+		c.bR.n = 0
+	}
+	if c.bS.n > 0 {
+		c.slow.ObserveBatch(c.bS.buf[:c.bS.n])
+		c.bS.n = 0
+	}
+	c.dirty = false
+}
+
+// spanArenaSpans caps the preallocated span arena. Small runs get full
+// coverage (every span arena-served); large runs warm the free list within
+// the first spanArenaSpans opens and recycle from there, so the arena stays
+// bounded no matter how far the harness scale grows.
+const spanArenaSpans = 4096
+
+// segRegionLen is the starter segment capacity carved out of the segment
+// arena per arena-served span — enough for the common queued/running/
+// preempted/queued shapes; busier spans spill to a heap-grown list.
+const segRegionLen = 4
+
+// cellKey identifies one windowed sketch cell by dense indices.
+type cellKey struct {
+	win   int32
+	class int8
+	mode  int8
+}
+
+// SpanBuilder folds the decision event stream into spans. It is a Sink (and
+// a SharedSink); like Ring it locks internally, so the single emitting
+// goroutine can run while HTTP handlers snapshot. Events must arrive in
+// stream order (the order every in-repo emitter produces).
 //
 // Determinism: spans are a pure fold of the event stream plus the immutable
-// workload set, so a fixed-seed run yields a byte-identical span stream.
+// workload set, so a fixed-seed run yields a byte-identical span stream, and
+// batch flush points are a pure function of the stream too (buffer-full and
+// no-open-spans drains), so registry sums stay bit-identical as well.
 type SpanBuilder struct {
-	mu       sync.Mutex
-	set      *txn.Set
-	opts     SpanOptions
-	wfOf     map[txn.ID]int
-	mode     map[int]string
-	open     map[txn.ID]*spanState
-	done     []*Span
-	total    uint64
-	stallAt  float64 // time of the most recent stall window entry
-	hasStall bool
+	mu        sync.Mutex
+	set       *txn.Set
+	opts      SpanOptions
+	wfOf      []int32     // txn ID -> primary workflow (-1 none); immutable after construction
+	modeOf    []int8      // workflow ID -> modeNames index of its current scheduler mode
+	modeNames []string    // interned mode names; [0] is the "edf" default
+	states    []spanState // txn ID -> open-span state machine
+	openCount int
+	// spanArena/segArena are preallocated backing stores sized at
+	// construction: pool misses bump-allocate a Span (and a fixed starter
+	// segment region) from them before falling back to the heap, so a run's
+	// spans cost two arena allocations instead of one per span plus one per
+	// segment-list growth.
+	spanArena []Span
+	arenaN    int
+	segArena  []Segment
+	segN      int
+	global    *windowCell // run-total sketches; nil until the first completed span
+	cells     map[cellKey]*windowCell
+	dirty     []*windowCell // cells with buffered observations, first-dirty order
+	done      []*Span
+	free      []*Span // spans recycled by Keep-compaction, ready for reuse
+	total     uint64
+	stallAt   float64 // time of the most recent stall window entry
+	hasStall  bool
 }
 
 // NewSpanBuilder returns a builder for transactions of set. The set provides
@@ -294,36 +407,101 @@ func NewSpanBuilder(set *txn.Set, opts SpanOptions) *SpanBuilder {
 		opts.Alpha = 0.01
 	}
 	b := &SpanBuilder{
-		set:  set,
-		opts: opts,
-		wfOf: make(map[txn.ID]int, set.Len()),
-		mode: make(map[int]string),
-		open: make(map[txn.ID]*spanState),
+		set:       set,
+		opts:      opts,
+		wfOf:      make([]int32, set.Len()),
+		states:    make([]spanState, set.Len()),
+		modeNames: []string{"edf", "hdf"},
+		cells:     make(map[cellKey]*windowCell),
 	}
-	for _, wf := range txn.BuildWorkflows(set) {
-		for _, id := range wf.Members {
-			if _, taken := b.wfOf[id]; !taken {
-				b.wfOf[id] = wf.ID
+	for i := range b.wfOf {
+		b.wfOf[i] = -1
+	}
+	arena := set.Len()
+	if arena > spanArenaSpans {
+		arena = spanArenaSpans
+	}
+	b.spanArena = make([]Span, arena)
+	b.segArena = make([]Segment, segRegionLen*arena)
+	// Every transaction closes its span at most once (completion or shed), so
+	// the done list never outgrows this capacity: n without a Keep bound, and
+	// the 2×Keep+1 compaction high-water mark with one.
+	capDone := set.Len()
+	if opts.Keep > 0 && 2*opts.Keep+1 < capDone {
+		capDone = 2*opts.Keep + 1
+	}
+	b.done = make([]*Span, 0, capDone)
+	// Workflow membership, computed as txn.BuildWorkflows assigns it —
+	// workflow i is the dependency closure of Roots()[i], and a transaction's
+	// primary workflow is the lowest-ID one containing it — but as a pruned
+	// DFS straight into the dense wfOf table. BuildWorkflows materializes
+	// per-workflow member slices and pending maps (O(n) allocations the
+	// scheduler needs and the span layer does not); the pruning is sound
+	// because dependency closures are ancestor-closed: once a node is
+	// claimed, every ancestor of it is already claimed too.
+	roots := set.Roots()
+	b.modeOf = make([]int8, len(roots))
+	stack := make([]txn.ID, 0, 64)
+	for i, root := range roots {
+		if b.wfOf[root] >= 0 {
+			continue
+		}
+		wf := int32(i)
+		b.wfOf[root] = wf
+		stack = append(stack, root)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, d := range set.Txns[cur].Deps {
+				if b.wfOf[d] < 0 {
+					b.wfOf[d] = wf
+					stack = append(stack, d)
+				}
 			}
 		}
 	}
 	return b
 }
 
-// Emit implements Sink. It is the observer's event path: every scheduling
-// decision flows through here, so it is a hot-path root in its own right —
-// the allocation budget below is enforced even if interface fan-out from the
-// simulator's root ever fails to reach it.
+// Emit implements Sink, for callers that hold the builder behind the plain
+// interface (the fault recorder's rare outage events, tests). The enabled
+// fast path reaches EmitShared directly through an Emitter.
+func (b *SpanBuilder) Emit(ev Event) { b.EmitShared(&ev) }
+
+// EmitShared implements SharedSink: the event is borrowed for the duration
+// of the call and everything retained is captured by copy. It is the
+// observer's event path — every scheduling decision flows through here, so
+// it is a hot-path root in its own right and its allocation budget is
+// enforced even if interface fan-out from the simulator's root ever fails
+// to reach it.
 //
 //lint:hotpath
-func (b *SpanBuilder) Emit(ev Event) {
+func (b *SpanBuilder) EmitShared(ev *Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.emitLocked(ev)
+}
+
+// EmitSharedBatch implements BatchSink: the whole batch is folded under one
+// lock acquisition, in slice order — the same fold as event-at-a-time
+// emission, so batched delivery cannot change any span.
+//
+//lint:hotpath
+func (b *SpanBuilder) EmitSharedBatch(evs []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range evs {
+		b.emitLocked(&evs[i])
+	}
+}
+
+// emitLocked folds one event into the span state machines. Callers hold b.mu.
+func (b *SpanBuilder) emitLocked(ev *Event) {
 	switch ev.Kind {
 	case KindArrival:
 		b.openSpan(ev)
 	case KindDispatch:
-		if st, ok := b.open[ev.Txn]; ok && st.cur != SegRunning {
+		if st := b.stateOf(ev.Txn); st != nil && st.cur != SegRunning {
 			b.closeSeg(st, ev.Time)
 			st.cur = SegRunning
 		}
@@ -331,7 +509,7 @@ func (b *SpanBuilder) Emit(ev Event) {
 		// Only a running transaction can be preempted; a preempt for a
 		// queued one is the scheduler re-learning about a restarted or
 		// crash-lost transaction, which changes no segment.
-		if st, ok := b.open[ev.Txn]; ok && st.cur == SegRunning {
+		if st := b.stateOf(ev.Txn); st != nil && st.cur == SegRunning {
 			b.closeSeg(st, ev.Time)
 			if b.hasStall && b.stallAt == ev.Time {
 				// The outage window opening at this exact instant is what
@@ -343,12 +521,12 @@ func (b *SpanBuilder) Emit(ev Event) {
 			}
 		}
 	case KindCompletion:
-		if st, ok := b.open[ev.Txn]; ok {
+		if st := b.stateOf(ev.Txn); st != nil {
 			b.closeSeg(st, ev.Time)
 			b.finalize(st, ev)
 		}
 	case KindAbort:
-		if st, ok := b.open[ev.Txn]; ok && st.cur == SegRunning {
+		if st := b.stateOf(ev.Txn); st != nil && st.cur == SegRunning {
 			b.closeSeg(st, ev.Time)
 			if ev.Detail == "crash" {
 				// In-flight work destroyed by a crash window: the wait is
@@ -360,7 +538,7 @@ func (b *SpanBuilder) Emit(ev Event) {
 			}
 		}
 	case KindRestart:
-		if st, ok := b.open[ev.Txn]; ok && st.cur == SegBackoff {
+		if st := b.stateOf(ev.Txn); st != nil && st.cur == SegBackoff {
 			b.closeSeg(st, ev.Time)
 			st.cur = SegQueued
 			st.span.Restarts++
@@ -368,17 +546,19 @@ func (b *SpanBuilder) Emit(ev Event) {
 	case KindStall:
 		b.stallAt, b.hasStall = ev.Time, true
 	case KindShed:
-		st, ok := b.open[ev.Txn]
-		if !ok {
+		st := b.stateOf(ev.Txn)
+		if st == nil {
 			b.openSpan(ev)
-			st = b.open[ev.Txn]
+			if st = b.stateOf(ev.Txn); st == nil {
+				break
+			}
 		}
 		b.closeSeg(st, ev.Time)
 		st.span.Shed = true
 		b.finalize(st, ev)
 	case KindModeSwitch:
-		if i := strings.Index(ev.Detail, "->"); i >= 0 && ev.Workflow >= 0 {
-			b.mode[ev.Workflow] = ev.Detail[i+2:]
+		if i := strings.Index(ev.Detail, "->"); i >= 0 && ev.Workflow >= 0 && ev.Workflow < len(b.modeOf) {
+			b.modeOf[ev.Workflow] = b.internMode(ev.Detail[i+2:])
 		}
 	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit:
 		// No segment transitions: misses ride the completion event's
@@ -389,54 +569,122 @@ func (b *SpanBuilder) Emit(ev Event) {
 	}
 }
 
+// stateOf returns the open-span state of id, nil when id is out of range or
+// has no open span.
+func (b *SpanBuilder) stateOf(id txn.ID) *spanState {
+	if id < 0 || int(id) >= len(b.states) {
+		return nil
+	}
+	if st := &b.states[id]; st.active {
+		return st
+	}
+	return nil
+}
+
+// internMode maps a scheduler mode name to its dense index, growing the
+// interning table on first sight of a new name. The scan is over the tiny
+// interned set ("edf", "hdf" in every in-repo policy).
+//
+//lint:coldpath mode names are interned once per distinct name, not per event
+func (b *SpanBuilder) internMode(m string) int8 {
+	for i, s := range b.modeNames {
+		if s == m {
+			return int8(i)
+		}
+	}
+	b.modeNames = append(b.modeNames, strings.Clone(m))
+	return int8(len(b.modeNames) - 1)
+}
+
 // openSpan starts a span at ev (an arrival, or a shed of a transaction that
-// never reached the scheduler).
-func (b *SpanBuilder) openSpan(ev Event) {
-	if _, dup := b.open[ev.Txn]; dup {
+// never reached the scheduler), reusing a free-listed span when one is
+// available. Events for IDs outside the workload set are ignored.
+func (b *SpanBuilder) openSpan(ev *Event) {
+	if ev.Txn < 0 || int(ev.Txn) >= len(b.states) {
 		return
 	}
-	//lint:ignore hotpath-alloc one Span per transaction is the observer's product; BENCH_span quantifies the cost
-	sp := &Span{
-		Txn: ev.Txn, Workflow: -1,
-		Arrival: ev.Time, Deadline: ev.Deadline,
-		Class: "light", Mode: "edf",
+	st := &b.states[ev.Txn]
+	if st.active {
+		return
 	}
-	if wf, ok := b.wfOf[ev.Txn]; ok {
-		sp.Workflow = wf
+	var sp *Span
+	if n := len(b.free); n > 0 {
+		sp = b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		segs := sp.Segments[:0] // keep the warmed backing array
+		*sp = Span{Segments: segs}
+		if ov := b.opts.Overhead; ov != nil {
+			ov.CountPoolHit()
+		}
+	} else if b.arenaN < len(b.spanArena) {
+		// Arena-served: no heap allocation, so this counts as a pool hit in
+		// the self-telemetry. The three-index slice caps the starter region,
+		// so growth past it reallocates instead of clobbering the neighbor.
+		sp = &b.spanArena[b.arenaN]
+		b.arenaN++
+		sp.Segments = b.segArena[b.segN : b.segN : b.segN+segRegionLen]
+		b.segN += segRegionLen
+		if ov := b.opts.Overhead; ov != nil {
+			ov.CountPoolHit()
+		}
+	} else {
+		//lint:ignore hotpath-alloc pool miss: one Span beyond the free list's and arena's reach; BENCH_scale budgets the steady-state rate
+		sp = &Span{}
+		if ov := b.opts.Overhead; ov != nil {
+			ov.CountPoolMiss()
+		}
+	}
+	sp.Txn = ev.Txn
+	sp.Workflow = -1
+	sp.Arrival = ev.Time
+	sp.Deadline = ev.Deadline
+	st.classIdx = 0
+	if wf := b.wfOf[ev.Txn]; wf >= 0 {
+		sp.Workflow = int(wf)
 	}
 	if t := b.set.ByID(ev.Txn); t != nil {
 		sp.Weight = t.Weight
-		sp.Class = WeightClass(t.Weight)
-		//lint:ignore hotpath-alloc defensive clone of the immutable dependency list, once per transaction
-		sp.Parents = append([]txn.ID(nil), t.Deps...)
+		st.classIdx = weightClassIdx(t.Weight)
+		// Parents/Children alias the immutable workload DAG slices; the set
+		// is read-only for the duration of a run and spans treat the links
+		// as read-only too, so no defensive clone is needed.
+		sp.Parents = t.Deps
 		if int(ev.Txn) < len(b.set.Dependents) {
-			//lint:ignore hotpath-alloc defensive clone of the immutable dependents list, once per transaction
-			sp.Children = append([]txn.ID(nil), b.set.Dependents[ev.Txn]...)
+			sp.Children = b.set.Dependents[ev.Txn]
 		}
 	}
-	//lint:ignore hotpath-alloc one tracking record per open transaction is the span builder's working set
-	b.open[ev.Txn] = &spanState{span: sp, cur: SegQueued, curStart: ev.Time}
+	sp.Class = classNames[st.classIdx]
+	sp.Mode = b.modeNames[0]
+	st.span = sp
+	st.cur = SegQueued
+	st.curStart = ev.Time
+	st.active = true
+	b.openCount++
 }
 
 // closeSeg ends the current segment at t, dropping zero-length segments
 // (same-instant transitions like an arrival dispatched immediately).
 func (b *SpanBuilder) closeSeg(st *spanState, t float64) {
 	if t > st.curStart {
-		//lint:ignore hotpath-alloc segments accumulate per transaction by design; they are the span's payload
+		//lint:ignore hotpath-alloc segments append into the span's recycled backing array; growth past warmed capacity is the span's payload
 		st.span.Segments = append(st.span.Segments, Segment{Kind: st.cur, Start: st.curStart, End: t})
 	}
 	st.curStart = t
 }
 
 // finalize closes the span at a completion or shed event: computes the
-// attribution fold, derived fields and sketch observations, and moves the
-// span to the done list.
-func (b *SpanBuilder) finalize(st *spanState, ev Event) {
+// attribution fold, derived fields and batched sketch observations, and
+// moves the span to the done list. When the builder drains (no spans left
+// open — true at the end of every run), pending sketch batches flush.
+func (b *SpanBuilder) finalize(st *spanState, ev *Event) {
 	sp := st.span
 	sp.Finish = ev.Time
-	if m, ok := b.mode[sp.Workflow]; ok {
-		sp.Mode = m
+	modeIdx := int8(0)
+	if wf := sp.Workflow; wf >= 0 && wf < len(b.modeOf) {
+		modeIdx = b.modeOf[wf]
 	}
+	sp.Mode = b.modeNames[modeIdx]
 	// The attribution is the time-order per-category fold of segment
 	// durations, and Response is the category-order sum of the attribution.
 	// Both are pure functions of the segment list, so re-deriving either
@@ -465,52 +713,143 @@ func (b *SpanBuilder) finalize(st *spanState, ev Event) {
 		if t := b.set.ByID(sp.Txn); t != nil && t.Length > 0 {
 			sp.Slowdown = sp.Response / t.Length
 		}
-		b.observe(sp)
+		b.observe(sp, st.classIdx, modeIdx)
 	}
-	delete(b.open, sp.Txn)
+	st.active = false
+	st.span = nil
+	b.openCount--
 	//lint:ignore hotpath-alloc completed spans are retained (bounded by Keep) by design
 	b.done = append(b.done, sp)
 	b.total++
 	if b.opts.Keep > 0 && len(b.done) > 2*b.opts.Keep {
-		//lint:ignore hotpath-alloc periodic compaction copies the retained tail, amortized by the 2×Keep trigger
-		b.done = append(b.done[:0:0], b.done[len(b.done)-b.opts.Keep:]...)
+		b.compact()
+	}
+	if b.openCount == 0 {
+		b.flushLocked()
 	}
 }
 
-// observe feeds one completed span into the registry sketches.
-func (b *SpanBuilder) observe(sp *Span) {
-	reg := b.opts.Metrics
-	if reg == nil {
+// compact drops the oldest spans once the done list exceeds 2×Keep,
+// recycling them into the free list and sliding the retained tail to the
+// front in place. Amortized: runs once per Keep completions, and the free
+// list is bounded by the spans in flight between compactions.
+func (b *SpanBuilder) compact() {
+	cut := len(b.done) - b.opts.Keep
+	//lint:ignore hotpath-alloc free-list growth is bounded by Keep and amortized by the 2×Keep compaction trigger
+	b.free = append(b.free, b.done[:cut]...)
+	n := copy(b.done, b.done[cut:])
+	for i := n; i < len(b.done); i++ {
+		b.done[i] = nil
+	}
+	b.done = b.done[:n]
+}
+
+// observe feeds one completed span into the batched registry sketches. The
+// cell lookup is a dense-index map access — no formatted names, no string
+// hashing on the completion path.
+func (b *SpanBuilder) observe(sp *Span, class, mode int8) {
+	if b.opts.Metrics == nil {
 		return
 	}
-	alpha := b.opts.Alpha
-	reg.Sketch(MetricSpanTardiness, "per-span tardiness quantile sketch", alpha).Observe(sp.Tardiness)
-	reg.Sketch(MetricSpanResponse, "per-span response time quantile sketch", alpha).Observe(sp.Response)
-	reg.Sketch(MetricSpanSlowdown, "per-span slowdown quantile sketch", alpha).Observe(sp.Slowdown)
+	if b.global == nil {
+		b.initGlobal()
+	}
+	g := b.global
+	g.bT.push(g.tard, sp.Tardiness)
+	g.bR.push(g.resp, sp.Response)
+	g.bS.push(g.slow, sp.Slowdown)
+	b.markDirty(g)
 	if b.opts.Window <= 0 {
 		return
 	}
-	win := int(sp.Finish / b.opts.Window)
-	reg.Sketch(WindowMetric("tardiness", win, sp.Class, sp.Mode),
-		"windowed tardiness quantile sketch", alpha).Observe(sp.Tardiness)
-	reg.Sketch(WindowMetric("response", win, sp.Class, sp.Mode),
-		"windowed response time quantile sketch", alpha).Observe(sp.Response)
-	reg.Sketch(WindowMetric("slowdown", win, sp.Class, sp.Mode),
-		"windowed slowdown quantile sketch", alpha).Observe(sp.Slowdown)
+	key := cellKey{win: int32(sp.Finish / b.opts.Window), class: class, mode: mode}
+	c := b.cells[key]
+	if c == nil {
+		c = b.newCell(int(key.win), classNames[class], b.modeNames[mode])
+		b.cells[key] = c
+	}
+	c.bT.push(c.tard, sp.Tardiness)
+	c.bR.push(c.resp, sp.Response)
+	c.bS.push(c.slow, sp.Slowdown)
+	b.markDirty(c)
+}
+
+// markDirty queues a cell for the next drain flush.
+func (b *SpanBuilder) markDirty(c *windowCell) {
+	if !c.dirty {
+		c.dirty = true
+		//lint:ignore hotpath-alloc the dirty work list grows to the cells touched per drain, then is reused via [:0]
+		b.dirty = append(b.dirty, c)
+	}
+}
+
+// initGlobal resolves the run-total sketch handles — lazily, at the first
+// completed span, so a builder that never observes anything registers no
+// metrics (the pre-batching contract).
+//
+//lint:coldpath run-total sketch registration happens once per run
+func (b *SpanBuilder) initGlobal() {
+	reg, alpha := b.opts.Metrics, b.opts.Alpha
+	b.global = &windowCell{
+		tard: reg.Sketch(MetricSpanTardiness, "per-span tardiness quantile sketch", alpha),
+		resp: reg.Sketch(MetricSpanResponse, "per-span response time quantile sketch", alpha),
+		slow: reg.Sketch(MetricSpanSlowdown, "per-span slowdown quantile sketch", alpha),
+	}
+}
+
+// newCell registers the three sketches of one windowed cell. The fmt-built
+// label names live only here, once per cell — completions reach their cell
+// through the interned cellKey index.
+//
+//lint:coldpath window-cell registration happens once per (window, class, mode) cell, not per completion
+func (b *SpanBuilder) newCell(win int, class, mode string) *windowCell {
+	reg, alpha := b.opts.Metrics, b.opts.Alpha
+	return &windowCell{
+		tard: reg.Sketch(WindowMetric("tardiness", win, class, mode),
+			"windowed tardiness quantile sketch", alpha),
+		resp: reg.Sketch(WindowMetric("response", win, class, mode),
+			"windowed response time quantile sketch", alpha),
+		slow: reg.Sketch(WindowMetric("slowdown", win, class, mode),
+			"windowed slowdown quantile sketch", alpha),
+	}
+}
+
+// flushLocked drains every dirty cell's pending buffers into the sketches.
+// Drains happen whenever no span is open — which includes the end of every
+// run, since each transaction completes or is shed — so registry snapshots
+// taken after a run always see every observation. Callers hold b.mu.
+func (b *SpanBuilder) flushLocked() {
+	for i, c := range b.dirty {
+		c.flush()
+		b.dirty[i] = nil
+	}
+	b.dirty = b.dirty[:0]
+}
+
+// Flush drains any pending batched sketch observations. The server calls it
+// before serving /metrics so mid-run scrapes see up-to-the-event windowed
+// percentiles; it is safe to call concurrently with emission.
+func (b *SpanBuilder) Flush() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.mu.Unlock()
 }
 
 // Spans returns the retained closed spans in close order (completion or shed
 // instant). The returned slice is fresh; the spans are shared and must be
-// treated as read-only.
+// treated as read-only. With a Keep bound, further emissions may recycle
+// compacted-away spans, so Spans is intended for post-run (quiescent) use —
+// concurrent readers should use Snapshot, which deep-copies.
 func (b *SpanBuilder) Spans() []*Span {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return append([]*Span(nil), b.done...)
 }
 
-// Snapshot returns up to limit closed spans, newest first, as value copies —
-// the backing store of the server's /api/spans endpoint. limit <= 0 means
-// every retained span.
+// Snapshot returns up to limit closed spans, newest first, as value copies
+// with deep-copied segment lists — safe to hold while emission continues and
+// recycles pooled spans. The backing store of the server's /api/spans
+// endpoint. limit <= 0 means every retained span.
 func (b *SpanBuilder) Snapshot(limit int) []Span {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -520,7 +859,9 @@ func (b *SpanBuilder) Snapshot(limit int) []Span {
 	}
 	out := make([]Span, 0, limit)
 	for i := 0; i < limit; i++ {
-		out = append(out, *b.done[n-1-i])
+		sp := *b.done[n-1-i]
+		sp.Segments = append([]Segment(nil), sp.Segments...)
+		out = append(out, sp)
 	}
 	return out
 }
@@ -530,4 +871,27 @@ func (b *SpanBuilder) Total() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.total
+}
+
+// RetainedBytes estimates the memory the builder pins: retained and
+// free-listed spans with their segment arrays, the dense per-transaction
+// state table, and the window-cell index. Cold; called at scrape time.
+func (b *SpanBuilder) RetainedBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	spanSize := int(unsafe.Sizeof(Span{}))
+	segSize := int(unsafe.Sizeof(Segment{}))
+	total := len(b.states) * int(unsafe.Sizeof(spanState{}))
+	for _, sp := range b.done {
+		total += spanSize + cap(sp.Segments)*segSize
+	}
+	for _, sp := range b.free {
+		total += spanSize + cap(sp.Segments)*segSize
+	}
+	total += len(b.cells) * int(unsafe.Sizeof(windowCell{}))
+	// Arena capacity not yet handed out (handed-out regions are already
+	// counted through the done/free spans that own them).
+	total += (len(b.spanArena) - b.arenaN) * spanSize
+	total += (len(b.segArena) - b.segN) * segSize
+	return total
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sync"
+
 	"repro/internal/obs"
 	"repro/internal/txn"
 )
@@ -12,6 +14,16 @@ import (
 // events land in the same stream as the decision-loop events.
 type SinkSetter interface {
 	SetSink(obs.Sink)
+}
+
+// ObsFlusher is implemented by schedulers whose instrumentation buffers
+// observations for batched delivery. The run loop (simulator, executor)
+// calls FlushObs once after the last decision callback, so registry
+// snapshots taken after a run see every observation. Mid-run snapshots see
+// at most one batch of lag per series — bounded, and irrelevant to any
+// deterministic output, which is always post-flush.
+type ObsFlusher interface {
+	FlushObs()
 }
 
 // Metric and event names of the decision-loop instrumentation; the full
@@ -29,25 +41,110 @@ const (
 	MetricSimNow      = "asets_sim_now"
 )
 
+// histBatchSize is the per-histogram insert buffer length: completion
+// observations accumulate in a fixed inline array and flush under one
+// histogram lock when the buffer fills or FlushObs drains.
+const histBatchSize = 256
+
+// evBatchSize is the event staging buffer length: emitted events accumulate
+// in a fixed inline array and reach the sink chain through one
+// obs.Emitter.EmitBatch call (one Ring lock acquisition per batch) when the
+// buffer fills or FlushObs drains. Delivery order is exactly emission order,
+// so batching is invisible to every sink fold.
+const evBatchSize = 128
+
+// histBatch is a fixed-capacity insert buffer for one registry histogram.
+// Values reach the histogram in exact insertion order whether they leave via
+// a full-buffer flush or FlushObs, so the running sum stays bit-identical to
+// unbatched observation.
+type histBatch struct {
+	n   int
+	buf [histBatchSize]float64
+}
+
+// push buffers v, flushing into h when the buffer fills.
+func (b *histBatch) push(h *obs.Histogram, v float64) {
+	b.buf[b.n] = v
+	b.n++
+	if b.n == histBatchSize {
+		h.ObserveBatch(b.buf[:])
+		b.n = 0
+	}
+}
+
+// flush drains any pending values into h.
+func (b *histBatch) flush(h *obs.Histogram) {
+	if b.n > 0 {
+		h.ObserveBatch(b.buf[:b.n])
+		b.n = 0
+	}
+}
+
 // Instrumented wraps any Scheduler with the unified observability layer:
 // every decision-loop callback (arrival, dispatch, preemption, completion,
 // deadline miss) emits a typed obs.Event and bumps registry metrics. Because
 // the simulator and the executor drive every policy exclusively through the
 // Scheduler interface, instrumenting here covers all policies without
 // per-policy edits.
+//
+// The event path is built for zero steady-state allocation: emissions write
+// into a fixed inline staging buffer (sinks capture by copy — the
+// obs.SharedSink contract), the sink chain is devirtualized into an
+// obs.Emitter function table at wiring time, batches leave through
+// obs.Emitter.EmitBatch when the buffer fills or FlushObs drains, and
+// histogram observations batch through fixed inline buffers drained the same
+// way. The staging buffer is safe because the run loop drives the scheduler
+// from one goroutine and every emission completes before the next one starts
+// — including policy-internal emissions through innerSink, which happen
+// inside inner callbacks, after the wrapper's own staging for that callback
+// returned.
 type Instrumented struct {
 	inner Scheduler
-	sink  obs.Sink
+	em    *obs.Emitter
+	emit  bool     // em has at least one endpoint
+	sink  obs.Sink // counting shim handed to SinkSetter policies and the fault recorder
 
-	arrivals    *obs.Counter
-	dispatches  *obs.Counter
-	preemptions *obs.Counter
-	completions *obs.Counter
-	misses      *obs.Counter
-	tardiness   *obs.Histogram
-	response    *obs.Histogram
-	simNow      *obs.Gauge
+	evBuf [evBatchSize]obs.Event // staged events, delivered in emission order
+	evN   int
+
+	arrivals     *obs.Counter
+	dispatches   *obs.Counter
+	preemptions  *obs.Counter
+	completions  *obs.Counter
+	misses       *obs.Counter
+	aging        *obs.Counter
+	modeSwitches *obs.Counter
+	tardiness    *obs.Histogram
+	response     *obs.Histogram
+	simNow       *obs.Gauge
+
+	// Locally accumulated registry updates: the run loop is single-goroutine,
+	// so counts accumulate in plain fields and reach the shared atomic
+	// counters in one Add each per FlushObs drain, instead of one atomic RMW
+	// per decision. Mid-run registry reads lag by at most one drain interval
+	// (the executor drains every loop iteration; deterministic outputs are
+	// always post-flush).
+	nArrivals     uint64
+	nDispatches   uint64
+	nPreemptions  uint64
+	nCompletions  uint64
+	nMisses       uint64
+	nAging        uint64
+	nModeSwitches uint64
+	nowVal        float64
+	nowSet        bool
+
+	tardBuf histBatch
+	respBuf histBatch
 }
+
+// instrumentedPool recycles Instrumented wrappers between runs. The wrapper
+// is the largest per-run allocation of an enabled pipeline (~16KB of inline
+// staging buffers), so short benchmark and sweep runs otherwise pay its
+// allocation, zeroing and GC-mark cost on every sim.Run. Entries enter the
+// pool only through ReleaseObs, which drains them first, so a pooled wrapper
+// is always in the post-flush state (empty buffers, zero local counts).
+var instrumentedPool = sync.Pool{}
 
 // Instrument wraps s with event emission into sink and metric updates into
 // reg. Either may be nil; with both disabled (nil or obs.Discard sink, nil
@@ -66,28 +163,53 @@ func Instrument(s Scheduler, sink obs.Sink, reg *obs.Registry) Scheduler {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	in := &Instrumented{
-		inner:       s,
-		arrivals:    reg.Counter(MetricArrivals, "transactions submitted to the scheduler"),
-		dispatches:  reg.Counter(MetricDispatches, "transactions checked out to a server"),
-		preemptions: reg.Counter(MetricPreemptions, "transactions returned unfinished after running"),
-		completions: reg.Counter(MetricCompletions, "transactions finished"),
-		misses:      reg.Counter(MetricMisses, "completions past the deadline"),
-		tardiness:   reg.Histogram(MetricTardiness, "tardiness of completed transactions", 2),
-		response:    reg.Histogram(MetricResponse, "response time (finish - arrival) of completed transactions", 2),
-		simNow:      reg.Gauge(MetricSimNow, "simulated time of the latest scheduler callback"),
+	em := obs.NewEmitter(sink)
+	in, _ := instrumentedPool.Get().(*Instrumented)
+	if in == nil {
+		in = &Instrumented{}
 	}
+	in.inner = s
+	in.em = em
+	in.emit = em.Sinks() > 0
+	in.arrivals = reg.Counter(MetricArrivals, "transactions submitted to the scheduler")
+	in.dispatches = reg.Counter(MetricDispatches, "transactions checked out to a server")
+	in.preemptions = reg.Counter(MetricPreemptions, "transactions returned unfinished after running")
+	in.completions = reg.Counter(MetricCompletions, "transactions finished")
+	in.misses = reg.Counter(MetricMisses, "completions past the deadline")
+	in.aging = reg.Counter(MetricAging, "balance-aware T_old activations")
+	in.modeSwitches = reg.Counter(MetricModeSwitch, "EDF/HDF scheduling-entity migrations")
+	in.tardiness = reg.Histogram(MetricTardiness, "tardiness of completed transactions", 2)
+	in.response = reg.Histogram(MetricResponse, "response time (finish - arrival) of completed transactions", 2)
+	in.simNow = reg.Gauge(MetricSimNow, "simulated time of the latest scheduler callback")
 	// Policy-internal events (aging, mode switches) flow through a counting
-	// shim so they update the registry on their way into the stream.
-	in.sink = innerSink{
-		out:          sink,
-		aging:        reg.Counter(MetricAging, "balance-aware T_old activations"),
-		modeSwitches: reg.Counter(MetricModeSwitch, "EDF/HDF scheduling-entity migrations"),
+	// shim so they update the registry on their way into the stream. The shim
+	// points at the wrapper itself, so a recycled wrapper reuses its shim.
+	if in.sink == nil {
+		in.sink = &innerSink{in: in}
 	}
 	if ss, ok := s.(SinkSetter); ok {
 		ss.SetSink(in.sink)
 	}
 	return in
+}
+
+// ReleaseObs drains an instrumented scheduler and recycles its wrapper for a
+// future Instrument call. Callers may invoke it only when the run is over
+// and no reference to the wrapper, its EventSink, or a SinkSetter policy
+// that could still emit survives — the simulator releases at the end of a
+// successful Run, where the wrapper was created and never escapes. For any
+// other scheduler it is a no-op.
+//
+//lint:coldpath release is per-run teardown
+func ReleaseObs(s Scheduler) {
+	in, ok := s.(*Instrumented)
+	if !ok {
+		return
+	}
+	in.FlushObs() // idempotent: guarantees the pooled state is post-flush
+	in.inner = nil
+	in.em = nil
+	instrumentedPool.Put(in)
 }
 
 // Unwrap returns the wrapped scheduler, for callers that need the concrete
@@ -100,14 +222,92 @@ func (in *Instrumented) Name() string { return in.inner.Name() }
 // Init implements Scheduler.
 func (in *Instrumented) Init(set *txn.Set) { in.inner.Init(set) }
 
+// FlushObs implements ObsFlusher: delivers staged events to the sink chain,
+// drains the batched histogram buffers, and publishes the locally accumulated
+// counter deltas, so a post-run registry snapshot or sink read sees every
+// observation.
+func (in *Instrumented) FlushObs() {
+	if in.evN > 0 {
+		in.flushEvents()
+	}
+	in.tardBuf.flush(in.tardiness)
+	in.respBuf.flush(in.response)
+	in.flushCounts()
+}
+
+// flushCounts publishes the locally accumulated counts to the shared
+// registry handles: one atomic add per nonzero counter per drain.
+func (in *Instrumented) flushCounts() {
+	if in.nArrivals > 0 {
+		in.arrivals.Add(in.nArrivals)
+		in.nArrivals = 0
+	}
+	if in.nDispatches > 0 {
+		in.dispatches.Add(in.nDispatches)
+		in.nDispatches = 0
+	}
+	if in.nPreemptions > 0 {
+		in.preemptions.Add(in.nPreemptions)
+		in.nPreemptions = 0
+	}
+	if in.nCompletions > 0 {
+		in.completions.Add(in.nCompletions)
+		in.nCompletions = 0
+	}
+	if in.nMisses > 0 {
+		in.misses.Add(in.nMisses)
+		in.nMisses = 0
+	}
+	if in.nAging > 0 {
+		in.aging.Add(in.nAging)
+		in.nAging = 0
+	}
+	if in.nModeSwitches > 0 {
+		in.modeSwitches.Add(in.nModeSwitches)
+		in.nModeSwitches = 0
+	}
+	if in.nowSet {
+		in.simNow.Set(in.nowVal)
+		in.nowSet = false
+	}
+}
+
+// flushEvents delivers the staged events through the emitter's batch path.
+func (in *Instrumented) flushEvents() {
+	in.em.EmitBatch(in.evBuf[:in.evN])
+	in.evN = 0
+}
+
+// stage claims the next staging slot, flushing first when the buffer is
+// full. Callers fill every numeric field of the returned slot in place:
+// writing through the pointer spares the temporary-struct copy a composite
+// literal costs, and Detail — the slot's only pointer field — is cleared
+// here only when a recycled slot actually holds one, so the steady-state
+// store sequence never triggers a write barrier.
+//
+//lint:hotpath
+func (in *Instrumented) stage() *obs.Event {
+	if in.evN == evBatchSize {
+		in.flushEvents()
+	}
+	e := &in.evBuf[in.evN]
+	in.evN++
+	e.Seq = 0
+	if e.Detail != "" {
+		e.Detail = ""
+	}
+	return e
+}
+
 // OnArrival implements Scheduler.
 func (in *Instrumented) OnArrival(now float64, t *txn.Transaction) {
-	in.arrivals.Inc()
-	in.simNow.Set(now)
-	in.sink.Emit(obs.Event{
-		Time: now, Kind: obs.KindArrival, Txn: t.ID, Workflow: -1,
-		Deadline: t.Deadline, Remaining: t.Remaining,
-	})
+	in.nArrivals++
+	in.nowVal, in.nowSet = now, true
+	if in.emit {
+		e := in.stage()
+		e.Time, e.Kind, e.Txn, e.Workflow = now, obs.KindArrival, t.ID, -1
+		e.Deadline, e.Remaining, e.Tardiness = t.Deadline, t.Remaining, 0
+	}
 	in.inner.OnArrival(now, t)
 }
 
@@ -115,24 +315,26 @@ func (in *Instrumented) OnArrival(now float64, t *txn.Transaction) {
 func (in *Instrumented) Next(now float64) *txn.Transaction {
 	t := in.inner.Next(now)
 	if t != nil {
-		in.dispatches.Inc()
-		in.simNow.Set(now)
-		in.sink.Emit(obs.Event{
-			Time: now, Kind: obs.KindDispatch, Txn: t.ID, Workflow: -1,
-			Deadline: t.Deadline, Remaining: t.Remaining,
-		})
+		in.nDispatches++
+		in.nowVal, in.nowSet = now, true
+		if in.emit {
+			e := in.stage()
+			e.Time, e.Kind, e.Txn, e.Workflow = now, obs.KindDispatch, t.ID, -1
+			e.Deadline, e.Remaining, e.Tardiness = t.Deadline, t.Remaining, 0
+		}
 	}
 	return t
 }
 
 // OnPreempt implements Scheduler.
 func (in *Instrumented) OnPreempt(now float64, t *txn.Transaction) {
-	in.preemptions.Inc()
-	in.simNow.Set(now)
-	in.sink.Emit(obs.Event{
-		Time: now, Kind: obs.KindPreempt, Txn: t.ID, Workflow: -1,
-		Deadline: t.Deadline, Remaining: t.Remaining,
-	})
+	in.nPreemptions++
+	in.nowVal, in.nowSet = now, true
+	if in.emit {
+		e := in.stage()
+		e.Time, e.Kind, e.Txn, e.Workflow = now, obs.KindPreempt, t.ID, -1
+		e.Deadline, e.Remaining, e.Tardiness = t.Deadline, t.Remaining, 0
+	}
 	in.inner.OnPreempt(now, t)
 }
 
@@ -140,39 +342,43 @@ func (in *Instrumented) OnPreempt(now float64, t *txn.Transaction) {
 // finished by the simulator/executor, so tardiness is final here.
 func (in *Instrumented) OnCompletion(now float64, t *txn.Transaction) {
 	tard := t.Tardiness()
-	in.completions.Inc()
-	in.simNow.Set(now)
-	in.tardiness.Observe(tard)
-	in.response.Observe(t.FinishTime - t.Arrival)
-	in.sink.Emit(obs.Event{
-		Time: now, Kind: obs.KindCompletion, Txn: t.ID, Workflow: -1,
-		Deadline: t.Deadline, Tardiness: tard,
-	})
+	in.nCompletions++
+	in.nowVal, in.nowSet = now, true
+	in.tardBuf.push(in.tardiness, tard)
+	in.respBuf.push(in.response, t.FinishTime-t.Arrival)
 	if tard > 0 {
-		in.misses.Inc()
-		in.sink.Emit(obs.Event{
-			Time: now, Kind: obs.KindDeadlineMiss, Txn: t.ID, Workflow: -1,
-			Deadline: t.Deadline, Tardiness: tard,
-		})
+		in.nMisses++
+	}
+	if in.emit {
+		e := in.stage()
+		e.Time, e.Kind, e.Txn, e.Workflow = now, obs.KindCompletion, t.ID, -1
+		e.Deadline, e.Remaining, e.Tardiness = t.Deadline, 0, tard
+		if tard > 0 {
+			e = in.stage()
+			e.Time, e.Kind, e.Txn, e.Workflow = now, obs.KindDeadlineMiss, t.ID, -1
+			e.Deadline, e.Remaining, e.Tardiness = t.Deadline, 0, tard
+		}
 	}
 	in.inner.OnCompletion(now, t)
 }
 
-// innerSink forwards policy-internal events to the real sink while counting
-// them in the registry.
+// innerSink stages policy-internal events into the wrapper's event buffer
+// while counting them in the registry, keeping them in stream order with the
+// decision-loop events: policies emit from inside scheduler callbacks on the
+// run-loop goroutine, after any wrapper staging for the same callback has
+// returned. The fault recorder shares this entry (see EventSink), so outage
+// and shedding events stay ordered with everything else too.
 type innerSink struct {
-	out          obs.Sink
-	aging        *obs.Counter
-	modeSwitches *obs.Counter
+	in *Instrumented
 }
 
 // Emit implements obs.Sink.
-func (s innerSink) Emit(ev obs.Event) {
+func (s *innerSink) Emit(ev obs.Event) {
 	switch ev.Kind {
 	case obs.KindAging:
-		s.aging.Inc()
+		s.in.nAging++
 	case obs.KindModeSwitch:
-		s.modeSwitches.Inc()
+		s.in.nModeSwitches++
 	case obs.KindArrival, obs.KindDispatch, obs.KindPreempt,
 		obs.KindCompletion, obs.KindDeadlineMiss:
 		// Decision-loop kinds are counted by the wrapper itself.
@@ -183,7 +389,26 @@ func (s innerSink) Emit(ev obs.Event) {
 	default:
 		panic("sched: innerSink received unknown event kind")
 	}
-	s.out.Emit(ev)
+	if s.in.emit {
+		if s.in.evN == evBatchSize {
+			s.in.flushEvents()
+		}
+		s.in.evBuf[s.in.evN] = ev
+		s.in.evN++
+	}
+}
+
+// EventSink returns the ordered event entry point of an instrumented
+// scheduler: a sink that stages into the same buffer as the decision-loop
+// callbacks, so out-of-band emitters (the fault recorder) interleave with
+// scheduler events in true emission order even while delivery is batched.
+// For any other scheduler it returns fallback unchanged.
+func EventSink(s Scheduler, fallback obs.Sink) obs.Sink {
+	if in, ok := s.(*Instrumented); ok {
+		return in.sink
+	}
+	return fallback
 }
 
 var _ Scheduler = (*Instrumented)(nil)
+var _ ObsFlusher = (*Instrumented)(nil)

@@ -95,6 +95,11 @@ func TestInstrumentEmitsDecisionEvents(t *testing.T) {
 	got.FinishTime = 3.4
 	s.OnCompletion(3.4, got)
 
+	// Events and histogram observations batch until the run loop drains
+	// them; this test drives the wrapper by hand, so drain explicitly
+	// before reading the collector or the registry.
+	s.(ObsFlusher).FlushObs()
+
 	kinds := map[obs.Kind]int{}
 	for _, ev := range col.Events() {
 		kinds[ev.Kind]++
@@ -152,14 +157,16 @@ func TestInstrumentPropagatesSink(t *testing.T) {
 	rec := &sinkRecorder{Scheduler: NewEDF()}
 	col := &obs.Collector{}
 	reg := obs.NewRegistry()
-	Instrument(rec, col, reg)
+	wrapped := Instrument(rec, col, reg)
 	if rec.sink == nil {
 		t.Fatal("sink not propagated to SinkSetter scheduler")
 	}
 	// Policy-internal events pass through the counting shim into the same
-	// stream and bump their registry counters.
+	// stream and bump their registry counters. They stage in the wrapper's
+	// event buffer until a drain delivers them.
 	rec.sink.Emit(obs.Event{Time: 1, Kind: obs.KindModeSwitch, Txn: -1, Workflow: 0})
 	rec.sink.Emit(obs.Event{Time: 2, Kind: obs.KindAging, Txn: 0, Workflow: -1})
+	wrapped.(ObsFlusher).FlushObs()
 	if n := len(col.Events()); n != 2 {
 		t.Fatalf("%d events reached the outer sink", n)
 	}

@@ -30,6 +30,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,6 +78,8 @@ type Server struct {
 	ring      *obs.Ring
 	spans     *obs.SpanBuilder
 	sse       *sseHub
+	ov        *obs.Overhead
+	g         obsGauges
 
 	mu     sync.Mutex
 	recent []Completion // ring buffer, next points at the oldest slot; guarded by mu
@@ -122,13 +125,24 @@ func New(policy sched.Scheduler, set *txn.Set, cfg *workload.Config, opts execut
 		s.reg = obs.NewRegistry()
 		opts.Metrics = s.reg
 	}
+	s.ov = obs.NewOverhead()
 	s.ring = obs.NewRing(eventRing)
 	s.spans = obs.NewSpanBuilder(set, obs.SpanOptions{
-		Metrics: s.reg, Window: spanWindow, Keep: spanRing,
+		Metrics: s.reg, Window: spanWindow, Keep: spanRing, Overhead: s.ov,
 	})
 	s.sse = newSSEHub(s.reg)
-	opts.Sink = obs.Tee(opts.Sink, s.ring, s.spans, s.sse)
+	// The sink chain is wrapped in a Timed meter so the cost of observing —
+	// events fanned out, wall-clock ns inside the fan-out — is itself
+	// exported (/api/stats "obs" block, asets_obs_* gauges). The clock is
+	// the executor's own, so a FakeClock replay stays deterministic: time
+	// attribution is simply zero there.
+	clk := opts.Clock
+	if clk == nil {
+		clk = executor.RealClock{}
+	}
+	opts.Sink = obs.NewTimed(obs.Tee(opts.Sink, s.ring, s.spans, s.sse), s.ov, clk.Now)
 	s.reg.Gauge("asets_workload_transactions", "transactions in the replayed workload").Set(float64(set.Len()))
+	s.g = newObsGauges(s.reg)
 
 	s.exec = executor.New(policy, set, opts)
 
@@ -254,6 +268,66 @@ type statsPayload struct {
 	Backlog      float64 `json:"backlog"`
 	Degraded     bool    `json:"degraded"`
 	Done         bool    `json:"done"`
+	// Obs is the observability layer's self-telemetry: what watching the
+	// run costs (events, instrumentation ns, pool behaviour, retained
+	// bytes) plus Go runtime gauges sampled at request time.
+	Obs obsPayload `json:"obs"`
+}
+
+// obsPayload is the self-telemetry block of /api/stats.
+type obsPayload struct {
+	obs.OverheadStats
+	// RetainedBytes is the memory pinned by the event ring and the span
+	// builder (spans, free list, state tables).
+	RetainedBytes int `json:"retained_bytes"`
+	// Spans is the number of spans closed so far.
+	Spans uint64 `json:"spans"`
+	// Runtime holds host-process gauges via runtime/metrics; these are
+	// facts about the Go process, never simulation state.
+	Runtime obs.RuntimeSample `json:"runtime"`
+}
+
+// obsGauges are the /metrics exports of the self-telemetry block, published
+// at scrape time (handleMetrics) from the same sources as /api/stats.
+type obsGauges struct {
+	events, nanos, poolHits, poolMisses, retained *obs.Gauge
+	heap, gc, goroutines                          *obs.Gauge
+}
+
+func newObsGauges(reg *obs.Registry) obsGauges {
+	return obsGauges{
+		events:     reg.Gauge("asets_obs_events", "events fanned out through the instrumented sink path"),
+		nanos:      reg.Gauge("asets_obs_instr_ns", "wall-clock nanoseconds attributed to instrumentation fan-out"),
+		poolHits:   reg.Gauge("asets_obs_pool_hits", "span free-list reuses"),
+		poolMisses: reg.Gauge("asets_obs_pool_misses", "span pool misses (fresh span allocations)"),
+		retained:   reg.Gauge("asets_obs_retained_bytes", "bytes retained by the event ring and span builder"),
+		heap:       reg.Gauge("asets_runtime_heap_bytes", "live heap bytes (runtime/metrics)"),
+		gc:         reg.Gauge("asets_runtime_gc_cycles", "completed GC cycles (runtime/metrics)"),
+		goroutines: reg.Gauge("asets_runtime_goroutines", "goroutine count (runtime/metrics)"),
+	}
+}
+
+func (s *Server) obsNow() obsPayload {
+	return obsPayload{
+		OverheadStats: s.ov.Stats(),
+		RetainedBytes: s.ring.RetainedBytes() + s.spans.RetainedBytes(),
+		Spans:         s.spans.Total(),
+		Runtime:       obs.ReadRuntimeSample(),
+	}
+}
+
+// publishObs copies the self-telemetry into the registry gauges so /metrics
+// carries the same numbers as /api/stats.
+func (s *Server) publishObs() {
+	o := s.obsNow()
+	s.g.events.Set(float64(o.Events))
+	s.g.nanos.Set(float64(o.InstrNanos))
+	s.g.poolHits.Set(float64(o.PoolHits))
+	s.g.poolMisses.Set(float64(o.PoolMisses))
+	s.g.retained.Set(float64(o.RetainedBytes))
+	s.g.heap.Set(float64(o.Runtime.HeapBytes))
+	s.g.gc.Set(float64(o.Runtime.GCCycles))
+	s.g.goroutines.Set(float64(o.Runtime.Goroutines))
 }
 
 func (s *Server) statsNow() statsPayload {
@@ -276,6 +350,7 @@ func (s *Server) statsNow() statsPayload {
 		Backlog:      st.Backlog,
 		Degraded:     st.Degraded,
 		Done:         s.exec.Done(),
+		Obs:          s.obsNow(),
 	}
 }
 
@@ -311,10 +386,20 @@ func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WritePrometheus(w, s.reg); err != nil {
+	// Drain batched span observations so the scrape sees up-to-the-event
+	// windowed percentiles, then refresh the self-telemetry gauges.
+	s.spans.Flush()
+	s.publishObs()
+	// Render into a buffer first: WritePrometheus writing straight to w
+	// would commit a 200 on its first byte, making the error branch a
+	// superfluous WriteHeader when a scrape is cut off mid-body.
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, s.reg); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
 }
 
 // eventsPayload is the /events response document.

@@ -196,6 +196,9 @@ func (e *Sim) RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Schedu
 		deliver(now)
 	}
 
+	if fl, ok := s.(sched.ObsFlusher); ok {
+		fl.FlushObs()
+	}
 	summary, err := metrics.Compute(set, busy)
 	if err != nil {
 		return nil, err

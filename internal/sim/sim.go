@@ -169,16 +169,20 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
-	var rec *fault.Recorder
-	if inj != nil || ctrl != nil {
-		rec = fault.NewRecorder(cfg.Sink, cfg.Metrics)
-	}
 	set.ResetAll()
 	// The instrumentation wrapper covers every policy at the decision-loop
 	// boundary; with neither a sink nor a registry it is a no-op returning
 	// s itself, so uninstrumented runs pay nothing.
 	s = sched.Instrument(s, cfg.Sink, cfg.Metrics)
 	s.Init(set)
+	var rec *fault.Recorder
+	if inj != nil || ctrl != nil {
+		// The recorder emits through the instrumented scheduler's staged
+		// event entry, so its outage/shedding events stay interleaved with
+		// the decision-loop events in true emission order even though
+		// delivery to the sinks is batched.
+		rec = fault.NewRecorder(sched.EventSink(s, cfg.Sink), cfg.Metrics)
+	}
 
 	// Arrival order: by time, ties by ID for determinism.
 	order := make([]*txn.Transaction, n)
@@ -443,6 +447,12 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		deliver(now)
 	}
 
+	// Drain batched instrumentation buffers before any reader can snapshot
+	// the registry — callers observe the post-run state, never a partial
+	// batch.
+	if fl, ok := s.(sched.ObsFlusher); ok {
+		fl.FlushObs()
+	}
 	summary, err := metrics.Compute(set, busy)
 	if err != nil {
 		return nil, err
@@ -452,6 +462,11 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		summary.Restarts = inj.Restarts()
 		summary.Stalls = inj.StallsEntered()
 	}
+	// The run is over and nothing retains the instrumentation wrapper (the
+	// caller owns the sink and the registry, not the wrapper), so recycle it
+	// for the next run. Error paths above skip this and simply let the
+	// wrapper be collected.
+	sched.ReleaseObs(s)
 	return summary, nil
 }
 

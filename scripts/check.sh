@@ -27,8 +27,8 @@ if [ "${1:-}" = "short" ]; then
     # /api/*) against a live replay — including the fault-injection hammer,
     # which shares the admission controller between the submit gate and the
     # replay goroutine. Both hammers are small and fast.
-    echo "== go test -race (endpoint + fault hammers)"
-    go test -race -run Hammer ./internal/server
+    echo "== go test -race (endpoint + fault + pooled-event hammers)"
+    go test -race -run Hammer ./internal/server ./internal/obs
 else
     echo "== go test"
     go test ./...
@@ -40,12 +40,16 @@ echo "== asetslint"
 go run ./cmd/asetslint ./...
 
 echo "== obs overhead benchmark"
-go run ./cmd/asetsbench -obs-bench BENCH_obs.json -n 400
+go run ./cmd/asetsbench -obs-bench BENCH_obs.json -n 1000
 cat BENCH_obs.json
 
 echo "== span + sketch overhead benchmark"
-go run ./cmd/asetsbench -span-bench BENCH_span.json -n 400
+go run ./cmd/asetsbench -span-bench BENCH_span.json -n 1000
 cat BENCH_span.json
+
+echo "== observability scale benchmark (budget gate)"
+go run ./cmd/asetsbench -scale-bench BENCH_scale.json
+cat BENCH_scale.json
 
 echo "== overload shedding benchmark"
 go run ./cmd/asetsbench -fault-bench BENCH_fault.json -n 300 -seeds 2
