@@ -15,6 +15,7 @@
 //	asetsbench -span-bench BENCH_span.json   # span + sketch overhead
 //	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
 //	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
+//	asetsbench -cluster-bench BENCH_cluster.json -n 300   # failover vs no-failover strawman
 package main
 
 import (
@@ -33,22 +34,23 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "experiment id to run, or 'all'")
-		n          = flag.Int("n", 1000, "transactions per workload (paper: 1000)")
-		seeds      = flag.Int("seeds", 5, "seeded runs per data point (paper: 5)")
-		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		validate   = flag.Bool("validate", false, "validate every schedule against the trace checker")
-		chart      = flag.Bool("chart", false, "render an ASCII chart under each table")
-		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
-		svgDir     = flag.String("svg", "", "directory to write per-figure SVG charts into")
-		jsonDir    = flag.String("json", "", "directory to write per-figure JSON results into")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		obsBench   = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
-		scaleBench = flag.String("scale-bench", "", "run the 100k-transaction observability scale benchmark with enforced budgets, write JSON to this path, and exit")
-		scaleN     = flag.Int("scale-n", 100000, "transactions for -scale-bench")
-		spanBench  = flag.String("span-bench", "", "benchmark span-builder and sketch overhead, write JSON to this path, and exit")
-		faultBench = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
-		parBench   = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
+		figure       = flag.String("figure", "all", "experiment id to run, or 'all'")
+		n            = flag.Int("n", 1000, "transactions per workload (paper: 1000)")
+		seeds        = flag.Int("seeds", 5, "seeded runs per data point (paper: 5)")
+		parallel     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		validate     = flag.Bool("validate", false, "validate every schedule against the trace checker")
+		chart        = flag.Bool("chart", false, "render an ASCII chart under each table")
+		csvDir       = flag.String("csv", "", "directory to write per-figure CSV files into")
+		svgDir       = flag.String("svg", "", "directory to write per-figure SVG charts into")
+		jsonDir      = flag.String("json", "", "directory to write per-figure JSON results into")
+		list         = flag.Bool("list", false, "list experiment ids and exit")
+		obsBench     = flag.String("obs-bench", "", "benchmark instrumentation overhead, write JSON to this path, and exit")
+		scaleBench   = flag.String("scale-bench", "", "run the 100k-transaction observability scale benchmark with enforced budgets, write JSON to this path, and exit")
+		scaleN       = flag.Int("scale-n", 100000, "transactions for -scale-bench")
+		spanBench    = flag.String("span-bench", "", "benchmark span-builder and sketch overhead, write JSON to this path, and exit")
+		faultBench   = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
+		parBench     = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
+		clusterBench = flag.String("cluster-bench", "", "benchmark cluster failover vs a no-failover strawman under an instance crash, write JSON to this path, and exit")
 	)
 	seed := cliflag.AddSeed(flag.CommandLine)
 	flag.Parse()
@@ -115,6 +117,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: parallel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterBench != "" {
+		f, err := os.Create(*clusterBench)
+		if err == nil {
+			err = runClusterBench(f, *n, min(*seeds, 3))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: cluster-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

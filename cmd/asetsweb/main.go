@@ -7,6 +7,7 @@
 //
 //	asetsweb -addr :8080 -policy asets -util 0.9 -scale 5ms
 //	asetsweb -faults plan.json -admit slack:2   # fault injection + shedding
+//	asetsweb -instances 4 -route weighted -wf-len 1   # fault-tolerant fleet
 //	asetsweb -pprof            # additionally serve /debug/pprof/
 //	# then open http://localhost:8080/
 //
@@ -20,6 +21,15 @@
 // format); -admit selects an admission controller (none, queue:N,
 // slack[:tol], missratio[:enter,exit]). Both are validated before the
 // server binds its port.
+//
+// -instances N (N > 1) serves the fault-tolerant cluster tier instead of the
+// single backend: the workload is routed (-route) across N fault domains,
+// -faults crashes instance 0 while the survivors absorb the failover under
+// the -retry-budget/-retry-backoff budget, /healthz answers per-instance
+// circuit-breaker detail (?instance=K), and /metrics grows the
+// asets_cluster_* failover counters. The fleet routes independent
+// transactions only, so it requires -wf-len 1 (docs/ROBUSTNESS.md,
+// "Cluster fault tolerance").
 package main
 
 import (
@@ -33,14 +43,25 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/cliflag"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/executor"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
+
+// replay is the interface the serve/restart loop needs from either tier —
+// the single-backend server.Server or the fleet's server.ClusterServer.
+type replay interface {
+	http.Handler
+	Start(ctx context.Context) (<-chan struct{}, error)
+	Wait(ctx context.Context) error
+}
 
 func main() {
 	var (
@@ -57,6 +78,7 @@ func main() {
 		logDet  = flag.Bool("log-deterministic", false, "drop wall-clock timestamps from log records (fixed-seed runs log byte-identically)")
 	)
 	rob := cliflag.AddRobustness(flag.CommandLine)
+	cl := cliflag.AddCluster(flag.CommandLine)
 	flag.Parse()
 
 	// Structured logging shares field keys with the span/event exports, so a
@@ -79,14 +101,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Validate fault/admission flags before binding the port, so a typo is a
-	// crisp CLI error rather than a replay-goroutine failure.
+	// Validate fault/admission/cluster flags before binding the port, so a
+	// typo is a crisp CLI error rather than a replay-goroutine failure.
 	if err := rob.Load(); err != nil {
 		cliflag.Fatal("asetsweb", err)
 	}
+	if err := cl.Load(); err != nil {
+		cliflag.Fatal("asetsweb", err)
+	}
+	if cl.Active() {
+		if *wfLen > 1 {
+			cliflag.Fatal("asetsweb", errors.New("cluster: the fleet routes independent transactions only; pass -wf-len 1 with -instances > 1"))
+		}
+		if plan := rob.Plan(); plan != nil && len(plan.Bursts) > 0 {
+			cliflag.Fatal("asetsweb", errors.New("cluster: flash-crowd bursts are a workload transform, not an instance fault; drop them from the -faults plan"))
+		}
+	}
 
-	build := func(seed uint64) (*server.Server, error) {
-		cfg := workload.Default(*util, seed)
+	build := func(seed uint64) (replay, error) {
+		// -util is per backend: the fleet draws Instances times the single
+		// server's load so each fault domain sees the requested utilization.
+		cfg := workload.Default(*util*float64(cl.Instances), seed)
 		cfg.N = *n
 		if *wfLen > 1 {
 			cfg = cfg.WithWorkflows(*wfLen, 1)
@@ -101,11 +136,33 @@ func main() {
 		// Controllers carry feedback state, so each replay gets a fresh one;
 		// the fault plan is immutable and shared (each executor builds its
 		// own injector from it).
-		return server.New(factory(), set, &cfg, executor.Options{
-			TimeScale: *scale,
-			Faults:    rob.Plan(),
-			Admit:     rob.Controller(),
-		}), nil
+		if !cl.Active() {
+			return server.New(factory(), set, &cfg, executor.Options{
+				TimeScale: *scale,
+				Faults:    rob.Plan(),
+				Admit:     rob.Controller(),
+			}), nil
+		}
+		// Fleet mode: the -faults plan crashes fault domain 0; the survivors
+		// absorb its failover. Policies and controllers carry state, so each
+		// replay builds fresh ones.
+		var plans []*fault.Plan
+		if rob.Plan() != nil {
+			plans = make([]*fault.Plan, cl.Instances)
+			plans[0] = rob.Plan()
+		}
+		var newAdmit func() admit.Controller
+		if rob.Controller() != nil {
+			newAdmit = rob.Controller
+		}
+		return server.NewCluster(cluster.Config{
+			Instances:    cl.Instances,
+			Policy:       cl.Policy(),
+			NewScheduler: factory,
+			NewAdmit:     newAdmit,
+			Faults:       plans,
+			Retry:        cl.Retry(),
+		}, set, cluster.FleetOptions{TimeScale: *scale}), nil
 	}
 
 	srv, err := build(*seed)
@@ -121,7 +178,7 @@ func main() {
 
 	// current always points at the live server so the handler can swap in a
 	// new replay when -loop is set.
-	current := make(chan *server.Server, 1)
+	current := make(chan replay, 1)
 	current <- srv
 	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s := <-current
@@ -178,7 +235,8 @@ func main() {
 	}()
 
 	logger.Info("serving dashboard",
-		obs.LogKeyPolicy, *policy, "n", *n, "util", *util, "addr", *addr, obs.LogKeySeed, *seed)
+		obs.LogKeyPolicy, *policy, "n", *n, "util", *util, "addr", *addr, obs.LogKeySeed, *seed,
+		"instances", cl.Instances, "route", cl.RouteSpec)
 
 	// Hardened server config: slowloris-resistant header/body deadlines and
 	// an idle cap for keep-alive connections. The longest handler is the

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/admit"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 )
 
@@ -77,6 +78,65 @@ func (r *Robustness) Controller() admit.Controller {
 
 // Active reports whether either robustness mechanism is configured.
 func (r *Robustness) Active() bool { return r.plan != nil || r.AdmitSpec != "none" }
+
+// Cluster bundles the fault-tolerant fleet flags shared by asetsweb and
+// asetsbench: the instance count, the routing policy spec and the failover
+// retry budget (docs/ROBUSTNESS.md, "Cluster fault tolerance").
+type Cluster struct {
+	// Instances is the -instances value: the fleet size (1 = the classic
+	// single-backend path).
+	Instances int
+	// RouteSpec is the -route value, e.g. "rr", "least", "slack", "weighted".
+	RouteSpec string
+	// RetryBudget, RetryBackoff and RetryBackoffCap are the failover budget
+	// flags (-retry-budget, -retry-backoff, -retry-backoff-cap).
+	RetryBudget     int
+	RetryBackoff    float64
+	RetryBackoffCap float64
+}
+
+// AddCluster registers the cluster flag set on fs and returns the
+// destination. Call Load after fs.Parse.
+func AddCluster(fs *flag.FlagSet) *Cluster {
+	c := &Cluster{}
+	fs.IntVar(&c.Instances, "instances", 1, "cluster instances (fault domains); 1 runs the single backend")
+	fs.StringVar(&c.RouteSpec, "route", "rr", "routing policy: rr, least, slack, weighted")
+	fs.IntVar(&c.RetryBudget, "retry-budget", cluster.DefaultRetry.Budget, "failovers one crash-lost transaction may consume; 0 drops crash victims (keep -retry-backoff non-zero)")
+	fs.Float64Var(&c.RetryBackoff, "retry-backoff", cluster.DefaultRetry.BackoffBase, "delay before the first failover re-enqueue (doubles per failover)")
+	fs.Float64Var(&c.RetryBackoffCap, "retry-backoff-cap", cluster.DefaultRetry.BackoffCap, "bound on the failover backoff (0 = uncapped)")
+	return c
+}
+
+// Load validates the cluster flags — instance count, routing spec and retry
+// budget — so a typo is a startup error rather than a mid-run failure.
+func (c *Cluster) Load() error {
+	if c.Instances < 1 {
+		return fmt.Errorf("cluster: instances %d must be positive", c.Instances)
+	}
+	if _, err := cluster.ParsePolicy(c.RouteSpec); err != nil {
+		return err
+	}
+	return c.Retry().Validate()
+}
+
+// Policy returns a fresh routing policy parsed from the spec. Each run must
+// get its own: policies may carry state (the round-robin cursor).
+func (c *Cluster) Policy() cluster.Policy {
+	p, err := cluster.ParsePolicy(c.RouteSpec)
+	if err != nil {
+		// Load validated the spec; reaching here means Load was skipped.
+		panic(fmt.Sprintf("cliflag: Policy before Load: %v", err))
+	}
+	return p
+}
+
+// Retry returns the failover budget assembled from the flags.
+func (c *Cluster) Retry() cluster.Retry {
+	return cluster.Retry{Budget: c.RetryBudget, BackoffBase: c.RetryBackoff, BackoffCap: c.RetryBackoffCap}
+}
+
+// Active reports whether a multi-instance fleet was requested.
+func (c *Cluster) Active() bool { return c.Instances > 1 }
 
 // AddSeed registers the shared -seed flag (base workload seed) on fs.
 func AddSeed(fs *flag.FlagSet) *uint64 {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 // parseRobustness registers the shared flags on a fresh FlagSet, parses args
@@ -146,6 +148,76 @@ func TestAddSeedDefault(t *testing.T) {
 	}
 	if *seed != 99 {
 		t.Fatalf("parsed seed %d, want 99", *seed)
+	}
+}
+
+// parseCluster mirrors parseRobustness for the fleet flag bundle.
+func parseCluster(t *testing.T, args ...string) (*Cluster, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	c := AddCluster(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, c.Load()
+}
+
+// TestClusterErrors is the table of bad fleet flag values every CLI must
+// turn into an exit-2 usage error via Fatal.
+func TestClusterErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero instances", []string{"-instances", "0"}, "instances"},
+		{"negative instances", []string{"-instances", "-3"}, "instances"},
+		{"unknown route", []string{"-route", "bogus"}, "bogus"},
+		{"negative retry budget", []string{"-retry-budget", "-1"}, "retry budget"},
+		{"negative retry backoff", []string{"-retry-backoff", "-0.5"}, "backoff_base"},
+		{"negative backoff cap", []string{"-retry-backoff-cap", "-1"}, "backoff_cap"},
+		{"cap below base", []string{"-retry-backoff", "4", "-retry-backoff-cap", "1"}, "backoff_cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseCluster(t, tc.args...)
+			if err == nil {
+				t.Fatalf("args %v accepted; want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestClusterDefaultsSingleBackend(t *testing.T) {
+	c, err := parseCluster(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Active() {
+		t.Fatal("one instance should not activate the fleet path")
+	}
+	if got := c.Policy().Name(); got != "rr" {
+		t.Fatalf("default policy %q, want rr", got)
+	}
+	if c.Retry() != cluster.DefaultRetry {
+		t.Fatalf("default retry %+v, want %+v", c.Retry(), cluster.DefaultRetry)
+	}
+}
+
+func TestClusterPolicyIsFreshPerCall(t *testing.T) {
+	c, err := parseCluster(t, "-instances", "4", "-route", "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Active() {
+		t.Fatal("four instances should activate the fleet path")
+	}
+	if a, b := c.Policy(), c.Policy(); a == b {
+		t.Fatal("round-robin policies carry cursor state and must not be shared between runs")
 	}
 }
 

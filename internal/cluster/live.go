@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/txn"
+)
+
+// InstanceStatus is one instance's slice of a fleet snapshot — the payload
+// behind the live server's per-instance /healthz detail.
+type InstanceStatus struct {
+	// Index is the instance's position in the fleet.
+	Index int `json:"index"`
+	// State is the circuit-breaker view: "healthy", "half-open", "stalled"
+	// or "ejected".
+	State string `json:"state"`
+	// Queued and Running describe the instance's current occupancy; Backlog
+	// is its remaining admitted work in simulated units.
+	Queued  int     `json:"queued"`
+	Running int     `json:"running"`
+	Backlog float64 `json:"backlog"`
+	// Routed, FailoversIn and CrashLost mirror InstanceResult, live.
+	Routed      int `json:"routed"`
+	FailoversIn int `json:"failovers_in"`
+	CrashLost   int `json:"crash_lost"`
+	// Completed and Misses count work finished here so far.
+	Completed int `json:"completed"`
+	Misses    int `json:"misses"`
+	// Degraded reports the instance's admission controller state.
+	Degraded bool `json:"degraded"`
+}
+
+// FleetStatus is a point-in-time snapshot of a cluster run, safe to read
+// while the engine runs.
+type FleetStatus struct {
+	// Now is the current simulated time; Done reports run completion.
+	Now  float64 `json:"now"`
+	Done bool    `json:"done"`
+	// Routes, Failovers, Lost, Ejections and Recoveries mirror Result, live.
+	Routes     int `json:"routes"`
+	Failovers  int `json:"failovers"`
+	Lost       int `json:"lost"`
+	Ejections  int `json:"ejections"`
+	Recoveries int `json:"recoveries"`
+	// Completed and Shed count transactions finished and rejected so far.
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	// Instances holds the per-instance detail, in index order.
+	Instances []InstanceStatus `json:"instances"`
+}
+
+// Healthy counts instances currently accepting routed work.
+func (fs FleetStatus) Healthy() int {
+	h := 0
+	for _, is := range fs.Instances {
+		if is.State != "ejected" {
+			h++
+		}
+	}
+	return h
+}
+
+// fleetTotals carries the engine's run-wide counters into a publish.
+type fleetTotals struct {
+	routes, failovers, lost, ejections, recoveries, done, shed int
+}
+
+// StatusBoard is the engine→observer seam for live runs: the engine
+// publishes a fleet snapshot at every event instant and HTTP handlers read
+// it concurrently. Pure simulation runs leave Config.Status nil and pay
+// nothing.
+type StatusBoard struct {
+	mu sync.Mutex
+	fs FleetStatus // guarded by mu
+}
+
+// Snapshot returns a copy of the latest published fleet state.
+func (b *StatusBoard) Snapshot() FleetStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs := b.fs
+	fs.Instances = append([]InstanceStatus(nil), b.fs.Instances...)
+	return fs
+}
+
+// publish replaces the board's snapshot from engine state. Called on the
+// engine goroutine only.
+func (b *StatusBoard) publish(now float64, finished bool, insts []*instance, tot fleetTotals) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fs.Now = now
+	b.fs.Done = finished
+	b.fs.Routes = tot.routes
+	b.fs.Failovers = tot.failovers
+	b.fs.Lost = tot.lost
+	b.fs.Ejections = tot.ejections
+	b.fs.Recoveries = tot.recoveries
+	b.fs.Completed = tot.done
+	b.fs.Shed = tot.shed
+	if cap(b.fs.Instances) < len(insts) {
+		//lint:ignore hotpath-alloc one allocation per live run; reused across every publish after
+		b.fs.Instances = make([]InstanceStatus, len(insts))
+	}
+	b.fs.Instances = b.fs.Instances[:len(insts)]
+	for i, inst := range insts {
+		state := "healthy"
+		switch {
+		case inst.ejected:
+			state = "ejected"
+		case inst.halfOpen:
+			state = "half-open"
+		default:
+			if _, _, stalled := inst.inStall(now); stalled {
+				state = "stalled"
+			}
+		}
+		running := 0
+		if inst.running != nil {
+			running = 1
+		}
+		b.fs.Instances[i] = InstanceStatus{
+			Index: inst.idx, State: state,
+			Queued: inst.queued, Running: running, Backlog: inst.backlog,
+			Routed: inst.routed, FailoversIn: inst.failoversIn,
+			CrashLost: inst.crashLost, Completed: inst.completed,
+			Misses: inst.misses, Degraded: inst.degraded,
+		}
+	}
+}
+
+// FleetOptions configures a live cluster replay.
+type FleetOptions struct {
+	// TimeScale is the wall-clock duration of one simulated time unit;
+	// default 200 microseconds, matching executor.Options.
+	TimeScale time.Duration
+	// Clock paces the replay; nil selects executor.RealClock. A FakeClock
+	// replays the identical schedule instantly and bit-deterministically —
+	// the same seam, reused (docs/DETERMINISM.md).
+	Clock executor.Clock
+}
+
+// Fleet runs a cluster configuration over live wall-clock time: the
+// multi-instance counterpart of executor.Executor, built by composing the
+// deterministic cluster engine with the executor's Clock seam through
+// Config.Pace. Event-time decisions are exactly the simulator's; wall-clock
+// sleeps only pace execution, so a paced run completes with the same routed
+// schedule as the instant replay.
+type Fleet struct {
+	sim   *Sim
+	set   *txn.Set
+	opts  FleetOptions
+	board *StatusBoard
+
+	mu   sync.Mutex
+	done bool    // guarded by mu
+	res  *Result // guarded by mu
+	err  error   // guarded by mu
+}
+
+// NewFleet prepares a live cluster replay of set under cfg. The fleet
+// installs its own StatusBoard (overriding cfg.Status) and pacing hook
+// (overriding cfg.Pace); configuration errors surface from Run.
+func NewFleet(cfg Config, set *txn.Set, opts FleetOptions) *Fleet {
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 200 * time.Microsecond
+	}
+	if opts.Clock == nil {
+		opts.Clock = executor.RealClock{}
+	}
+	f := &Fleet{set: set, opts: opts, board: &StatusBoard{}}
+	cfg.Status = f.board
+	f.sim = New(cfg)
+	return f
+}
+
+// Status returns the latest fleet snapshot; safe to call while Run runs.
+func (f *Fleet) Status() FleetStatus { return f.board.Snapshot() }
+
+// Done reports whether Run has finished.
+func (f *Fleet) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Result returns the run's outcome once Done; (nil, nil) before that.
+func (f *Fleet) Result() (*Result, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done {
+		return nil, nil
+	}
+	return f.res, f.err
+}
+
+// Run replays the workload to completion or until ctx is cancelled.
+func (f *Fleet) Run(ctx context.Context) (*Result, error) {
+	clock := f.opts.Clock
+	start := clock.Now()
+	f.sim.cfg.Pace = func(next float64) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		at := start.Add(time.Duration(next * float64(f.opts.TimeScale)))
+		d := at.Sub(clock.Now())
+		if d <= 0 {
+			return ctx.Err()
+		}
+		return clock.Sleep(ctx, d)
+	}
+	res, err := f.sim.Run(f.set)
+	f.mu.Lock()
+	f.done = true
+	f.res, f.err = res, err
+	f.mu.Unlock()
+	return res, err
+}

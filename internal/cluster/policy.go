@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InstanceView is the deterministic health-and-load signal one instance
+// exposes to the routing tier at a decision instant. Views are derived
+// purely from engine state — never from wall-clock probes — so routing
+// decisions replay bit-identically.
+type InstanceView struct {
+	// Index is the instance's position in the fleet.
+	Index int
+	// Ejected reports that the circuit-breaker has removed the instance
+	// from the routing set (it is inside a crash window or its recovery
+	// cooldown). Policies must never pick an ejected instance.
+	Ejected bool
+	// HalfOpen reports that the breaker re-admitted the instance after an
+	// ejection but no completion has confirmed recovery yet; health-aware
+	// policies send it less work while it is on probation.
+	HalfOpen bool
+	// Stalled reports that the instance is inside a (non-crash) outage
+	// window: routable, but not currently making progress.
+	Stalled bool
+	// Running is 1 while a transaction occupies the instance's server.
+	Running int
+	// Queued counts transactions admitted to the instance and waiting in
+	// its scheduler queue (excluding the running one and any backing off).
+	Queued int
+	// Backlog is the summed remaining work of the instance's admitted,
+	// unfinished transactions (running, queued and backing off).
+	Backlog float64
+}
+
+// Policy assigns arriving (and failing-over) transactions to instances: the
+// routing axis of the cluster tier, independent of the per-instance
+// scheduling policy. Pick returns the index of a non-ejected instance, or
+// -1 when every instance is ejected. Implementations may carry state (e.g.
+// the round-robin cursor) and must therefore be fresh per run; every
+// decision must be a pure function of that state and the views, so routed
+// runs stay deterministic.
+type Policy interface {
+	// Name returns the spec name, e.g. "rr" or "least".
+	Name() string
+	// Pick chooses the instance for one routing decision. views holds every
+	// instance in index order, including ejected ones.
+	Pick(views []InstanceView) int
+}
+
+// RoundRobin cycles through the non-ejected instances in index order — the
+// baseline policy that ignores load and health beyond ejection.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a fresh round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Pick implements Policy: the first non-ejected instance at or after the
+// cursor, which then advances past it.
+func (p *RoundRobin) Pick(views []InstanceView) int {
+	n := len(views)
+	for off := 0; off < n; off++ {
+		i := (p.next + off) % n
+		if !views[i].Ejected {
+			p.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// LeastLoaded picks the non-ejected instance with the fewest queued-or-
+// running transactions, ties broken by lowest index.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(views []InstanceView) int {
+	best, bestLoad := -1, 0
+	for _, v := range views {
+		if v.Ejected {
+			continue
+		}
+		load := v.Queued + v.Running
+		if best < 0 || load < bestLoad {
+			best, bestLoad = v.Index, load
+		}
+	}
+	return best
+}
+
+// SlackAware picks the non-ejected instance with the smallest work backlog:
+// under single-server instances the arriving transaction's predicted slack
+// is d - (now + backlog + length), so minimizing the backlog maximizes the
+// slack the transaction lands with (Definition 2 of the paper, lifted to
+// placement). Ties break by lowest index.
+type SlackAware struct{}
+
+// Name implements Policy.
+func (SlackAware) Name() string { return "slack" }
+
+// Pick implements Policy.
+func (SlackAware) Pick(views []InstanceView) int {
+	best, bestBacklog := -1, 0.0
+	for _, v := range views {
+		if v.Ejected {
+			continue
+		}
+		if best < 0 || v.Backlog < bestBacklog {
+			best, bestBacklog = v.Index, v.Backlog
+		}
+	}
+	return best
+}
+
+// HealthWeighted blends load with health: the score is the instance's
+// backlog plus its queue population, doubled (plus one) while the breaker
+// is half-open and stalled instances are penalized by their remaining
+// outage exposure being unknown — a fixed additive penalty keeps the
+// decision deterministic. Lowest score wins, ties by lowest index.
+type HealthWeighted struct{}
+
+// halfOpenPenalty shifts a half-open instance behind healthy peers of equal
+// load without starving it: one probe transaction still lands there once
+// every healthy backlog exceeds the penalty.
+const halfOpenPenalty = 1.0
+
+// Name implements Policy.
+func (HealthWeighted) Name() string { return "weighted" }
+
+// Pick implements Policy.
+func (HealthWeighted) Pick(views []InstanceView) int {
+	best, bestScore := -1, 0.0
+	for _, v := range views {
+		if v.Ejected {
+			continue
+		}
+		score := v.Backlog + float64(v.Queued+v.Running)
+		if v.HalfOpen || v.Stalled {
+			score = 2*score + halfOpenPenalty
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = v.Index, score
+		}
+	}
+	return best
+}
+
+// ParsePolicy builds a fresh routing policy from its spec name. Policies
+// may carry state, so each run must parse its own instance (mirroring
+// admit.Parse).
+func ParsePolicy(spec string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "rr", "round-robin", "roundrobin":
+		return NewRoundRobin(), nil
+	case "least", "least-loaded":
+		return LeastLoaded{}, nil
+	case "slack", "slack-aware":
+		return SlackAware{}, nil
+	case "weighted", "health", "health-weighted":
+		return HealthWeighted{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (use rr, least, slack or weighted)", spec)
+	}
+}

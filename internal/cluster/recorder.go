@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// Metric names of the cluster tier; the routing/failover taxonomy is
+// documented in docs/ROBUSTNESS.md.
+const (
+	MetricRouted     = "asets_cluster_routed_total"
+	MetricFailovers  = "asets_cluster_failovers_total"
+	MetricLost       = "asets_cluster_lost_total"
+	MetricEjections  = "asets_cluster_ejections_total"
+	MetricRecoveries = "asets_cluster_recoveries_total"
+	MetricHealthy    = "asets_cluster_healthy_instances"
+)
+
+// recorder fans every decision of the cluster engine into the unified
+// instrumentation layer. The engine is its own emission point — unlike the
+// single-backend path there is no sched.Instrument wrapper, because N
+// independently-batching wrappers over one sink could deliver events out of
+// global time order. All events funnel through here, unbatched, on the one
+// engine goroutine, so the routed stream is totally ordered by emission.
+type recorder struct {
+	sink obs.Sink
+	// fr handles the per-transaction fault events (abort, restart, shed)
+	// with the single-backend taxonomy, so routed and single-backend streams
+	// read identically at the transaction level.
+	fr *fault.Recorder
+
+	arrivals    *obs.Counter
+	dispatches  *obs.Counter
+	preemptions *obs.Counter
+	completions *obs.Counter
+	missesC     *obs.Counter
+	tardiness   *obs.Histogram
+	response    *obs.Histogram
+
+	stallsC *obs.Counter
+
+	routed     *obs.Counter
+	failovers  *obs.Counter
+	lost       *obs.Counter
+	ejections  *obs.Counter
+	recoveries *obs.Counter
+	healthy    *obs.Gauge
+}
+
+// newRecorder wires a recorder to sink and reg (either may be nil). The
+// decision-loop counters reuse the asets_sched_* names of sched.Instrument
+// so cluster and single-backend runs share one metric taxonomy.
+//
+//lint:coldpath recorder wiring is per-run setup
+func newRecorder(sink obs.Sink, reg *obs.Registry) *recorder {
+	if sink == nil {
+		sink = obs.Discard
+	}
+	r := &recorder{sink: sink, fr: fault.NewRecorder(sink, reg)}
+	if reg != nil {
+		r.stallsC = reg.Counter(fault.MetricStalls, "backend stall/crash windows entered")
+		r.arrivals = reg.Counter(sched.MetricArrivals, "transactions submitted to the scheduler")
+		r.dispatches = reg.Counter(sched.MetricDispatches, "transactions checked out to a server")
+		r.preemptions = reg.Counter(sched.MetricPreemptions, "transactions returned unfinished after running")
+		r.completions = reg.Counter(sched.MetricCompletions, "transactions finished")
+		r.missesC = reg.Counter(sched.MetricMisses, "completions past the deadline")
+		r.tardiness = reg.Histogram(sched.MetricTardiness, "tardiness of completed transactions", 2)
+		r.response = reg.Histogram(sched.MetricResponse, "response time (finish - arrival) of completed transactions", 2)
+		r.routed = reg.Counter(MetricRouted, "transactions assigned to an instance by the routing tier")
+		r.failovers = reg.Counter(MetricFailovers, "crash-lost transactions re-enqueued to a surviving instance")
+		r.lost = reg.Counter(MetricLost, "transactions permanently lost (retry budget exhausted or failover disabled)")
+		r.ejections = reg.Counter(MetricEjections, "instances ejected by the circuit-breaker")
+		r.recoveries = reg.Counter(MetricRecoveries, "ejected instances half-opened after recovery")
+		r.healthy = reg.Gauge(MetricHealthy, "instances currently accepting routed work")
+	}
+	return r
+}
+
+func (r *recorder) Arrival(now float64, t *txn.Transaction) {
+	if r.arrivals != nil {
+		r.arrivals.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindArrival, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining,
+	})
+}
+
+func (r *recorder) Dispatch(now float64, t *txn.Transaction, inst string) {
+	if r.dispatches != nil {
+		r.dispatches.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindDispatch, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining, Detail: inst,
+	})
+}
+
+func (r *recorder) Preempt(now float64, t *txn.Transaction) {
+	if r.preemptions != nil {
+		r.preemptions.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindPreempt, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining,
+	})
+}
+
+func (r *recorder) Completion(now float64, t *txn.Transaction) {
+	tard := t.Tardiness()
+	if r.completions != nil {
+		r.completions.Inc()
+		r.tardiness.Observe(tard)
+		r.response.Observe(t.FinishTime - t.Arrival)
+		if tard > 0 {
+			r.missesC.Inc()
+		}
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindCompletion, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Tardiness: tard,
+	})
+	if tard > 0 {
+		r.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindDeadlineMiss, Txn: t.ID, Workflow: -1,
+			Deadline: t.Deadline, Tardiness: tard,
+		})
+	}
+}
+
+// Abort, Restart and Shed reuse the single-backend fault taxonomy verbatim
+// (including the load-bearing "crash" abort detail the span and invariant
+// layers classify on).
+func (r *recorder) Abort(now float64, t *txn.Transaction, detail string, retryAt float64) {
+	r.fr.Abort(now, t, detail, retryAt)
+}
+
+func (r *recorder) Restart(now float64, t *txn.Transaction) { r.fr.Restart(now, t) }
+
+func (r *recorder) Shed(now float64, t *txn.Transaction, controller string) {
+	r.fr.Shed(now, t, controller)
+}
+
+// StallEntered is the instance-tagged variant of fault.Recorder.StallEntered:
+// the detail "crash@2" names both the window kind and the fault domain it
+// hit. Nothing downstream classifies on stall details, so the tag is free.
+func (r *recorder) StallEntered(now float64, w fault.Window, inst string) {
+	if r.stallsC != nil {
+		r.stallsC.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindStall, Txn: -1, Workflow: -1,
+		Remaining: w.Duration, Detail: w.Kind.String() + "@" + inst,
+	})
+}
+
+// Route records the router assigning an arriving transaction to an
+// instance; the event precedes the arrival it causes.
+func (r *recorder) Route(now float64, t *txn.Transaction, inst string) {
+	if r.routed != nil {
+		r.routed.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindRoute, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining, Detail: inst,
+	})
+}
+
+// Failover records a crash-lost transaction landing on a new instance
+// (detail "from->to").
+func (r *recorder) Failover(now float64, t *txn.Transaction, detail string) {
+	if r.failovers != nil {
+		r.failovers.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindFailover, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Remaining, Detail: detail,
+	})
+}
+
+// Lost records a crash-lost transaction dropped for good: its retry budget
+// is exhausted (or failover is disabled). The event kind is still failover
+// — the routing tier made the decision — with the terminal detail "lost".
+func (r *recorder) Lost(now float64, t *txn.Transaction) {
+	if r.lost != nil {
+		r.lost.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindFailover, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Detail: "lost",
+	})
+}
+
+// Eject records the circuit-breaker removing a crashed instance from the
+// routing set.
+func (r *recorder) Eject(now float64, inst string, healthy int) {
+	if r.ejections != nil {
+		r.ejections.Inc()
+		r.healthy.Set(float64(healthy))
+	}
+	r.sink.Emit(obs.Event{Time: now, Kind: obs.KindEject, Txn: -1, Workflow: -1, Detail: inst})
+}
+
+// Recover records an ejected instance's breaker half-opening after its
+// outage ended.
+func (r *recorder) Recover(now float64, inst string, healthy int) {
+	if r.recoveries != nil {
+		r.recoveries.Inc()
+		r.healthy.Set(float64(healthy))
+	}
+	r.sink.Emit(obs.Event{Time: now, Kind: obs.KindRecover, Txn: -1, Workflow: -1, Detail: inst})
+}

@@ -388,6 +388,25 @@ func (in *Injector) PopDueRestarts(now float64) []*txn.Transaction {
 	return out
 }
 
+// DrainHeld removes and returns every transaction waiting out a backoff, in
+// (restart time, ID) order, without counting them as restarts. This is the
+// instance-wide loss seam of the cluster tier: a single-backend crash window
+// destroys only in-flight work (queued and backing-off transactions keep
+// their place), but when a whole *instance* crashes its backoff queue dies
+// with it — the cluster router drains it here and fails the transactions
+// over to surviving instances instead of restarting them in place.
+func (in *Injector) DrainHeld() []*txn.Transaction {
+	if len(in.pending) == 0 {
+		return nil
+	}
+	out := make([]*txn.Transaction, len(in.pending))
+	for i := range in.pending {
+		out[i] = in.pending[i].t
+	}
+	in.pending = in.pending[:0]
+	return out
+}
+
 // advanceStallIdx moves the window cursor past windows fully behind now.
 func (in *Injector) advanceStallIdx(now float64) {
 	for in.stallIdx < len(in.plan.Stalls) && in.plan.Stalls[in.stallIdx].End() <= now {

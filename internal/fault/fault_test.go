@@ -259,3 +259,37 @@ func TestWindowKindJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestInjectorDrainHeld pins the instance-wide loss seam: draining the
+// backoff queue returns every held transaction in (restart time, ID) order,
+// empties the queue, and counts no restarts — the cluster router fails the
+// drained transactions over instead of restarting them in place.
+func TestInjectorDrainHeld(t *testing.T) {
+	p := &Plan{AbortProb: 1, MaxRestarts: 1, BackoffBase: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set := testSet(t, 0, 0, 0)
+	in := NewInjector(p, set.Len())
+	// Restart instants: txn 1 at 3, txn 2 at 2, txn 0 at 3 — drain order
+	// must be (at, id): txn 2, txn 0, txn 1.
+	in.RecordAbort(2, set.Txns[1])
+	in.RecordAbort(1, set.Txns[2])
+	in.RecordAbort(2, set.Txns[0])
+	got := in.DrainHeld()
+	if len(got) != 3 || got[0].ID != 2 || got[1].ID != 0 || got[2].ID != 1 {
+		t.Fatalf("DrainHeld order = %v, want txns 2, 0, 1", got)
+	}
+	if in.Held() != 0 || !math.IsInf(in.NextRestart(), 1) {
+		t.Fatalf("queue not emptied: held=%d next=%v", in.Held(), in.NextRestart())
+	}
+	if in.Restarts() != 0 {
+		t.Fatalf("drain counted %d restarts, want 0 (failover, not restart)", in.Restarts())
+	}
+	if in.PopDueRestarts(100) != nil {
+		t.Fatal("drained transactions must not restart later")
+	}
+	if in.DrainHeld() != nil {
+		t.Fatal("second drain should return nil")
+	}
+}

@@ -160,7 +160,7 @@ func Suite() []*Analyzer {
 	fc := FloatCmp()
 	fc.Include = []string{
 		"internal/core", "internal/sched", "internal/sim",
-		"internal/txn", "internal/executor",
+		"internal/txn", "internal/executor", "internal/cluster",
 	}
 	gh := GoroutineHygiene()
 	gh.Exclude = []string{"cmd/", "examples/"}

@@ -73,6 +73,19 @@ const (
 	KindDegradeEnter
 	// KindDegradeExit — the admission controller left degradation mode.
 	KindDegradeExit
+	// KindRoute — the cluster routing tier assigned an arriving transaction
+	// to an instance; Detail carries the instance index.
+	KindRoute
+	// KindFailover — a transaction lost to an instance crash was re-enqueued
+	// to a surviving instance (Detail "from->to") or permanently dropped
+	// because its retry budget ran out (Detail "lost").
+	KindFailover
+	// KindEject — the cluster circuit-breaker ejected a crashed instance
+	// from the routing set; Detail carries the instance index.
+	KindEject
+	// KindRecover — an ejected instance's circuit-breaker half-opened after
+	// its outage window ended; Detail carries the instance index.
+	KindRecover
 )
 
 // String returns the stable wire name of the kind, used in JSONL output,
@@ -105,6 +118,14 @@ func (k Kind) String() string {
 		return "degrade_enter"
 	case KindDegradeExit:
 		return "degrade_exit"
+	case KindRoute:
+		return "route"
+	case KindFailover:
+		return "failover"
+	case KindEject:
+		return "eject"
+	case KindRecover:
+		return "recover"
 	default:
 		panic(fmt.Sprintf("obs: unknown event kind %d", int(k)))
 	}
@@ -173,7 +194,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 
 // KindFromString is the inverse of Kind.String.
 func KindFromString(s string) (Kind, error) {
-	for k := KindArrival; k <= KindDegradeExit; k++ {
+	for k := KindArrival; k <= KindRecover; k++ {
 		if k.String() == s {
 			return k, nil
 		}

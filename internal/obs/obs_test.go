@@ -11,7 +11,8 @@ import (
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindArrival, KindDispatch, KindPreempt, KindCompletion,
 		KindDeadlineMiss, KindAging, KindModeSwitch, KindAbort, KindRestart,
-		KindStall, KindShed, KindDegradeEnter, KindDegradeExit}
+		KindStall, KindShed, KindDegradeEnter, KindDegradeExit,
+		KindRoute, KindFailover, KindEject, KindRecover}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -560,10 +560,21 @@ func (b *SpanBuilder) emitLocked(ev *Event) {
 		if i := strings.Index(ev.Detail, "->"); i >= 0 && ev.Workflow >= 0 && ev.Workflow < len(b.modeOf) {
 			b.modeOf[ev.Workflow] = b.internMode(ev.Detail[i+2:])
 		}
-	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit:
+	case KindFailover:
+		// The transaction lost its place on a crashed instance and is being
+		// re-enqueued elsewhere (or dropped): whatever segment it was in ends
+		// and it waits in the new instance's queue. It cannot be running —
+		// the crash's abort event already evicted it.
+		if st := b.stateOf(ev.Txn); st != nil && st.cur != SegRunning {
+			b.closeSeg(st, ev.Time)
+			st.cur = SegQueued
+		}
+	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit,
+		KindRoute, KindEject, KindRecover:
 		// No segment transitions: misses ride the completion event's
-		// tardiness, aging precedes an ordinary dispatch, and degradation
-		// is a controller-level state.
+		// tardiness, aging precedes an ordinary dispatch, degradation is a
+		// controller-level state, route precedes the arrival that opens the
+		// span, and eject/recover are instance-level breaker transitions.
 	default:
 		panic(fmt.Sprintf("obs: span builder: unknown event kind %d", int(ev.Kind)))
 	}

@@ -23,8 +23,13 @@ import (
 //   - restart requires a pending keyed abort (crash losses re-queue without
 //     a restart event);
 //   - a shed transaction never arrives, dispatches or completes;
+//   - route precedes the transaction's arrival-or-shed outcome and never
+//     follows its completion; failover requires a prior arrival and precedes
+//     the completion (a failed-over transaction is alive on a new instance);
 //
-// and globally: event times never decrease.
+// and globally: event times never decrease. Eject and recover are
+// instance-level circuit-breaker transitions with no per-transaction
+// obligations.
 func Validate(events []Event) error {
 	type state struct {
 		arrived    bool
@@ -130,9 +135,26 @@ func Validate(events []Event) error {
 				return fail(i, ev, "duplicate shed")
 			}
 			s.shed = true
-		case KindAging, KindModeSwitch, KindStall, KindDegradeEnter, KindDegradeExit:
-			// Scheduler- or controller-level events carry no per-transaction
-			// lifecycle obligations.
+		case KindRoute:
+			s := get(ev.Txn)
+			switch {
+			case s.completed:
+				return fail(i, ev, "route after completion")
+			case s.shed:
+				return fail(i, ev, "route of a shed transaction")
+			}
+		case KindFailover:
+			s := get(ev.Txn)
+			switch {
+			case !s.arrived:
+				return fail(i, ev, "failover before arrival")
+			case s.completed:
+				return fail(i, ev, "failover after completion")
+			}
+		case KindAging, KindModeSwitch, KindStall, KindDegradeEnter,
+			KindDegradeExit, KindEject, KindRecover:
+			// Scheduler-, controller- or instance-level events carry no
+			// per-transaction lifecycle obligations.
 		default:
 			return fail(i, ev, "unknown event kind")
 		}

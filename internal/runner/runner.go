@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -37,6 +38,23 @@ import (
 	"repro/internal/sim"
 	"repro/internal/txn"
 )
+
+// ClusterJob routes a job through the fault-tolerant cluster engine
+// (internal/cluster) instead of the single-backend simulator: the workload
+// is distributed across Config.Instances fault domains with failover. The
+// determinism contract is unchanged — a cluster run is a pure function of
+// its seeds, so serial and parallel pools produce byte-identical routed
+// event streams.
+type ClusterJob struct {
+	// Config is the cluster configuration. NewScheduler may be left nil to
+	// reuse the job's scheduler factory (Job.New); Sink, Metrics, Status and
+	// any stateful Policy must not be shared with another job in the same
+	// Run call.
+	Config cluster.Config
+	// Result holds the cluster run's outcome after a successful Run — the
+	// failover accounting the plain metrics.Summary cannot carry.
+	Result *cluster.Result
+}
 
 // Job is one independent simulation run.
 type Job struct {
@@ -56,7 +74,11 @@ type Job struct {
 	New func() sched.Scheduler
 	// Config is the job's simulation configuration. Recorder, Sink and
 	// Metrics must not be shared with any other job in the same Run call.
+	// Ignored when Cluster is set.
 	Config sim.Config
+	// Cluster, when non-nil, runs the job on the cluster engine instead of
+	// the single-backend simulator; see ClusterJob.
+	Cluster *ClusterJob
 	// Post, when non-nil, runs in the worker after a successful simulation
 	// with the job's private set and summary — the seam for per-run
 	// schedule validation. A Post error fails the job.
@@ -158,8 +180,19 @@ func (p Pool) runJob(job *Job, i int, results []*metrics.Summary) error {
 	if err != nil {
 		return p.jobErr(job, i, err)
 	}
-	summary, err := sim.New(job.Config).Run(set, job.New())
-	if err != nil {
+	var summary *metrics.Summary
+	if job.Cluster != nil {
+		ccfg := job.Cluster.Config
+		if ccfg.NewScheduler == nil {
+			ccfg.NewScheduler = job.New
+		}
+		res, err := cluster.New(ccfg).Run(set)
+		if err != nil {
+			return p.jobErr(job, i, err)
+		}
+		job.Cluster.Result = res
+		summary = res.Summary
+	} else if summary, err = sim.New(job.Config).Run(set, job.New()); err != nil {
 		return p.jobErr(job, i, err)
 	}
 	if job.Post != nil {
@@ -195,7 +228,11 @@ func (p Pool) jobErr(job *Job, i int, err error) error {
 // Run. Jobs without a registry are skipped.
 func MergeMetrics(dst *obs.Registry, jobs []Job) error {
 	for i := range jobs {
-		if reg := jobs[i].Config.Metrics; reg != nil {
+		reg := jobs[i].Config.Metrics
+		if cj := jobs[i].Cluster; cj != nil {
+			reg = cj.Config.Metrics
+		}
+		if reg != nil {
 			if err := dst.Merge(reg); err != nil {
 				return fmt.Errorf("runner: merging job %d: %w", i, err)
 			}
@@ -244,6 +281,27 @@ func (p Pool) validate(jobs []Job) error {
 		if s := job.Config.Sink; s != nil && s != obs.Discard && reflect.TypeOf(s).Comparable() {
 			if err := claim(i, "event sink", s); err != nil {
 				return err
+			}
+		}
+		if cj := job.Cluster; cj != nil {
+			if err := claim(i, "metrics registry", ptrOrNil(cj.Config.Metrics)); err != nil {
+				return err
+			}
+			if err := claim(i, "status board", ptrOrNil(cj.Config.Status)); err != nil {
+				return err
+			}
+			if s := cj.Config.Sink; s != nil && s != obs.Discard && reflect.TypeOf(s).Comparable() {
+				if err := claim(i, "event sink", s); err != nil {
+					return err
+				}
+			}
+			// Routing policies may carry state (the round-robin cursor), so a
+			// pointer-typed policy shared between jobs would race; value-typed
+			// policies (LeastLoaded{}) are stateless and freely shareable.
+			if pol := cj.Config.Policy; pol != nil && reflect.ValueOf(pol).Kind() == reflect.Pointer {
+				if err := claim(i, "routing policy", pol); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -383,9 +383,11 @@ func (s *innerSink) Emit(ev obs.Event) {
 		obs.KindCompletion, obs.KindDeadlineMiss:
 		// Decision-loop kinds are counted by the wrapper itself.
 	case obs.KindAbort, obs.KindRestart, obs.KindStall, obs.KindShed,
-		obs.KindDegradeEnter, obs.KindDegradeExit:
-		// Fault-layer kinds are counted by fault.Recorder at their emission
-		// site (the sim/executor event loop); pass them through unchanged.
+		obs.KindDegradeEnter, obs.KindDegradeExit,
+		obs.KindRoute, obs.KindFailover, obs.KindEject, obs.KindRecover:
+		// Fault- and cluster-layer kinds are counted by their recorders at
+		// their emission site (the sim/executor/cluster event loop); pass
+		// them through unchanged.
 	default:
 		panic("sched: innerSink received unknown event kind")
 	}

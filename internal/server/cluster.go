@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// ClusterServer hosts a live fault-tolerant fleet replay (cluster.Fleet)
+// behind the same observable surface as the single-backend Server: routed
+// decision events on /events and /events/stream, failover counters on
+// /metrics, fleet state on /api/stats — plus the per-instance circuit-breaker
+// detail on /healthz that a single backend has no use for. It is an
+// http.Handler; Start launches the replay exactly once.
+type ClusterServer struct {
+	set       *txn.Set
+	fleet     *cluster.Fleet
+	route     string
+	schedName string
+	instances int
+	timeScale time.Duration
+
+	reg  *obs.Registry
+	ring *obs.Ring
+	sse  *sseHub
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	started bool  // guarded by mu
+	runErr  error // guarded by mu
+	done    chan struct{}
+}
+
+// NewCluster prepares a live replay of set across cfg.Instances fault
+// domains. The server tees its event ring and SSE hub into cfg.Sink (a
+// caller's own sink keeps working alongside) and backs /metrics with
+// cfg.Metrics, creating a registry when the caller brought none.
+func NewCluster(cfg cluster.Config, set *txn.Set, opts cluster.FleetOptions) *ClusterServer {
+	s := &ClusterServer{
+		set:       set,
+		route:     "rr", // the engine's default when cfg.Policy is nil
+		instances: cfg.Instances,
+		timeScale: opts.TimeScale,
+		mux:       http.NewServeMux(),
+		done:      make(chan struct{}),
+	}
+	if cfg.Policy != nil {
+		s.route = cfg.Policy.Name()
+	}
+	if cfg.NewScheduler != nil {
+		s.schedName = cfg.NewScheduler().Name()
+	}
+	if s.timeScale <= 0 {
+		s.timeScale = 200 * time.Microsecond // NewFleet's default
+	}
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+		cfg.Metrics = s.reg
+	}
+	s.ring = obs.NewRing(eventRing)
+	s.sse = newSSEHub(s.reg)
+	cfg.Sink = obs.Tee(cfg.Sink, s.ring, s.sse)
+	s.reg.Gauge("asets_workload_transactions", "transactions in the replayed workload").Set(float64(set.Len()))
+	s.fleet = cluster.NewFleet(cfg, set, opts)
+
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /events/stream", s.handleEventStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Registry exposes the fleet's metrics registry, so embedding programs can
+// add their own instruments to the same /metrics page.
+func (s *ClusterServer) Registry() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *ClusterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Start launches the fleet replay in a background goroutine. Like Server, a
+// ClusterServer is single-use: a second Start returns ErrAlreadyStarted.
+func (s *ClusterServer) Start(ctx context.Context) (<-chan struct{}, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, ErrAlreadyStarted
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		_, err := s.fleet.Run(ctx)
+		s.mu.Lock()
+		s.runErr = err
+		s.mu.Unlock()
+	}()
+	return s.done, nil
+}
+
+// Err returns the replay error, if any, once the run has ended.
+func (s *ClusterServer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// Wait blocks until the replay started by Start has finished (returning its
+// error) or until ctx ends (returning ctx.Err()).
+func (s *ClusterServer) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return s.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the fleet's outcome once the replay is done; (nil, nil)
+// before that.
+func (s *ClusterServer) Result() (*cluster.Result, error) { return s.fleet.Result() }
+
+// clusterStatsPayload is the cluster /api/stats response document; the
+// embedded FleetStatus flattens into it.
+type clusterStatsPayload struct {
+	Route     string `json:"route"`
+	Scheduler string `json:"scheduler"`
+	N         int    `json:"n"`
+	Healthy   int    `json:"healthy"`
+	cluster.FleetStatus
+}
+
+func (s *ClusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	fs := s.fleet.Status()
+	writeJSON(w, clusterStatsPayload{
+		Route:       s.route,
+		Scheduler:   s.schedName,
+		N:           s.set.Len(),
+		Healthy:     fs.Healthy(),
+		FleetStatus: fs,
+	})
+}
+
+// clusterHealthPayload is the cluster /healthz response document: the
+// circuit-breaker state of every fault domain.
+type clusterHealthPayload struct {
+	Status    string                   `json:"status"` // "ok" | "degraded"
+	Healthy   int                      `json:"healthy"`
+	Instances []cluster.InstanceStatus `json:"instances"`
+}
+
+// handleHealth serves GET /healthz with per-instance detail. The whole-fleet
+// view is 503 "degraded" only when no instance accepts work; ?instance=N
+// narrows to one fault domain, 503 when that instance is ejected — the probe
+// a per-instance load balancer check would use.
+func (s *ClusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fs := s.fleet.Status()
+	if raw := r.URL.Query().Get("instance"); raw != "" {
+		idx, err := strconv.Atoi(raw)
+		if err != nil || idx < 0 || idx >= len(fs.Instances) {
+			http.Error(w, "healthz: instance must be in [0, "+strconv.Itoa(len(fs.Instances))+")", http.StatusBadRequest)
+			return
+		}
+		is := fs.Instances[idx]
+		if is.State == "ejected" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSONBody(w, is)
+		return
+	}
+	p := clusterHealthPayload{Status: "ok", Healthy: fs.Healthy(), Instances: fs.Instances}
+	if p.Instances == nil {
+		// Before the first engine publish the board is empty; report the
+		// configured width so probes never mistake "not started" for "down".
+		p.Instances = []cluster.InstanceStatus{}
+		p.Healthy = s.instances
+	}
+	if p.Healthy == 0 {
+		p.Status = "degraded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSONBody(w, p)
+}
+
+// clusterSubmitDecision is the cluster POST /api/submit response document: a
+// health-gated placement preview. The engine's routing policy owns real
+// placement; the preview reports whether any fault domain would accept the
+// work right now and which healthy instance carries the least backlog.
+type clusterSubmitDecision struct {
+	Admitted bool    `json:"admitted"`
+	Instance int     `json:"instance"` // -1 when rejected
+	Healthy  int     `json:"healthy"`
+	Now      float64 `json:"now"`
+}
+
+func (s *ClusterServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	fs := s.fleet.Status()
+	resp := clusterSubmitDecision{Instance: -1, Healthy: fs.Healthy(), Now: fs.Now}
+	if fs.Instances == nil {
+		resp.Healthy = s.instances
+		resp.Instance = 0
+	}
+	best := math.Inf(1)
+	for _, is := range fs.Instances {
+		if is.State == "ejected" {
+			continue
+		}
+		if load := is.Backlog + float64(is.Queued); load < best {
+			best, resp.Instance = load, is.Index
+		}
+	}
+	if resp.Healthy == 0 {
+		// Every fault domain is ejected; retry after a cooldown's worth of
+		// wall-clock time (at least 1s so the header is meaningful).
+		secs := math.Ceil(s.timeScale.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(secs)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSONBody(w, resp)
+		return
+	}
+	resp.Admitted = true
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, resp)
+}
+
+func (s *ClusterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, s.reg); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (s *ClusterServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r, 100, eventRing)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, eventsPayload{Total: s.ring.Total(), Events: s.ring.Snapshot(limit)})
+}
+
+func (s *ClusterServer) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	streamEvents(w, r, s.sse, s.done)
+}

@@ -80,13 +80,20 @@ func (h *sseHub) unsubscribe(ch chan obs.Event) {
 // the byte-stable JSON encoding as its data. The stream ends when the client
 // disconnects or when the replay finishes (after the buffer drains).
 func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	streamEvents(w, r, s.sse, s.done)
+}
+
+// streamEvents is the SSE loop shared by the single-backend Server and the
+// ClusterServer: subscribe to hub, relay until the client disconnects or
+// done closes (then drain and send a terminal `event: done` frame).
+func streamEvents(w http.ResponseWriter, r *http.Request, hub *sseHub, done <-chan struct{}) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	ch := s.sse.subscribe()
-	defer s.sse.unsubscribe(ch)
+	ch := hub.subscribe()
+	defer hub.unsubscribe(ch)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -112,7 +119,7 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 			if !write(ev) {
 				return
 			}
-		case <-s.done:
+		case <-done:
 			// Replay over: flush anything still buffered, then end the
 			// stream so clients see EOF instead of an idle hang.
 			for {

@@ -258,3 +258,55 @@ func TestInvalidPlanRejected(t *testing.T) {
 		t.Fatal("invalid plan accepted")
 	}
 }
+
+// TestCrashDestroysOnlyInProgressWork pins the single-backend crash
+// semantics the cluster tier's instance-wide loss deliberately extends: a
+// crash window destroys the in-flight transaction's progress but leaves
+// queued work untouched, *including* partial progress a preempted
+// transaction accumulated earlier.
+//
+// Scenario (one server, SRPT): T0 (arrival 0, length 10) runs [0,1) and is
+// preempted by T1 (arrival 1, length 4), which runs [1,4)+. The crash window
+// [4,6) catches T1 in flight — it alone loses its 3 units of progress —
+// while T0 sits queued with its 1 unit preserved. After the window: T1
+// reruns [6,10), T0 resumes [10,19). If the crash also wiped queued work,
+// T0 would finish at 20 instead.
+func TestCrashDestroysOnlyInProgressWork(t *testing.T) {
+	set, err := txn.NewSet([]*txn.Transaction{
+		{ID: 0, Arrival: 0, Deadline: 50, Length: 10, Weight: 1},
+		{ID: 1, Arrival: 1, Deadline: 50, Length: 4, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	sum, err := New(Config{
+		Faults: &fault.Plan{Stalls: []fault.Window{{Start: 4, Duration: 2, Kind: fault.Crash}}},
+		Sink:   col,
+	}).Run(set, sched.NewSRPT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Aborts != 1 || sum.Restarts != 0 {
+		t.Fatalf("exactly the in-flight transaction aborts: aborts=%d restarts=%d", sum.Aborts, sum.Restarts)
+	}
+	if f := set.Txns[1].FinishTime; f != 10 {
+		t.Fatalf("crashed T1 finish %v, want 10 (full rerun after the window)", f)
+	}
+	if f := set.Txns[0].FinishTime; f != 19 {
+		t.Fatalf("queued T0 finish %v, want 19 (1 unit of pre-crash progress preserved)", f)
+	}
+	if sum.BusyTime != 17 {
+		t.Fatalf("busy time %v, want 17 (14 of work + 3 lost to the crash)", sum.BusyTime)
+	}
+	// The event stream agrees: one crash abort, for T1 only.
+	var aborts []obs.Event
+	for _, ev := range col.Events() {
+		if ev.Kind == obs.KindAbort {
+			aborts = append(aborts, ev)
+		}
+	}
+	if len(aborts) != 1 || aborts[0].Txn != 1 || aborts[0].Detail != "crash" || aborts[0].Time != 4 {
+		t.Fatalf("abort events = %+v, want one crash abort of txn 1 at t=4", aborts)
+	}
+}

@@ -59,4 +59,8 @@ echo "== parallel runner benchmark (bit-exactness gate)"
 go run ./cmd/asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2
 cat BENCH_parallel.json
 
+echo "== cluster failover benchmark (failover + determinism gate)"
+go run ./cmd/asetsbench -cluster-bench BENCH_cluster.json -n 300
+cat BENCH_cluster.json
+
 echo "all checks passed"
