@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -60,16 +61,18 @@ type (
 type (
 	// WorkloadConfig parameterizes the Table I generator.
 	WorkloadConfig = workload.Config
+	// WorkloadSpec is the unified workload constructor: plain, workflow,
+	// and contended workloads all build through NewWorkloadSpec(...).Build.
+	WorkloadSpec = workload.Spec
+	// Keyspace parameterizes the data-contention model: Zipf-skewed
+	// read/write sets over an abstract row space (docs/CONTENTION.md).
+	Keyspace = contention.Keyspace
 	// Summary aggregates one simulation run (Definitions 3-5 metrics).
 	Summary = metrics.Summary
 	// SimConfig configures a simulation engine (see NewSim).
 	SimConfig = sim.Config
 	// Sim is a reusable simulation engine bound to one SimConfig.
 	Sim = sim.Sim
-	// SimOptions is the former name of SimConfig.
-	//
-	// Deprecated: use SimConfig with NewSim.
-	SimOptions = sim.Options
 	// TraceRecorder records execution slices for validation.
 	TraceRecorder = trace.Recorder
 	// Figure is a rendered experiment result.
@@ -136,6 +139,21 @@ func Generate(cfg WorkloadConfig) (*Set, error) { return workload.Generate(cfg) 
 
 // MustGenerate is Generate but panics on error.
 func MustGenerate(cfg WorkloadConfig) *Set { return workload.MustGenerate(cfg) }
+
+// NewWorkloadSpec returns the Table-I default workload specification at the
+// given target utilization; chain With* builders (WithWeights,
+// WithWorkflows, WithContention, ...) and finish with Build.
+func NewWorkloadSpec(utilization float64, seed uint64) WorkloadSpec {
+	return workload.NewSpec(utilization, seed)
+}
+
+// NewConflictAware wraps any policy with conflict-aware dispatch: the
+// wrapper defers queued transactions predicted to conflict with busy work,
+// stealing the policy's first non-conflicting candidate instead (window 0
+// selects the default probe depth; docs/CONTENTION.md).
+func NewConflictAware(inner Scheduler, window int) Scheduler {
+	return contention.NewDeferring(inner, window)
+}
 
 // NewSim returns a reusable simulation engine bound to cfg:
 // NewSim(cfg).Run(set, scheduler) for open-loop runs,

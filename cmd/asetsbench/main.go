@@ -16,6 +16,7 @@
 //	asetsbench -fault-bench BENCH_fault.json -n 300   # overload shedding sweep
 //	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
 //	asetsbench -cluster-bench BENCH_cluster.json -n 300   # failover vs no-failover strawman
+//	asetsbench -contention-bench BENCH_contention.json -n 300   # conflict-aware vs blind dispatch
 package main
 
 import (
@@ -51,6 +52,7 @@ func main() {
 		faultBench   = flag.String("fault-bench", "", "sweep overload shedding vs open admission under a fault plan, write JSON to this path, and exit")
 		parBench     = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
 		clusterBench = flag.String("cluster-bench", "", "benchmark cluster failover vs a no-failover strawman under an instance crash, write JSON to this path, and exit")
+		contBench    = flag.String("contention-bench", "", "benchmark conflict-aware dispatch vs blind ASETS* on Zipf-contended workloads, write JSON to this path, and exit")
 	)
 	seed := cliflag.AddSeed(flag.CommandLine)
 	flag.Parse()
@@ -132,6 +134,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: cluster-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *contBench != "" {
+		f, err := os.Create(*contBench)
+		if err == nil {
+			err = runContentionBench(f, *n, min(*seeds, 3))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: contention-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

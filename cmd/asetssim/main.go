@@ -13,11 +13,17 @@
 //	asetssim -spans out.jsonl             # per-transaction causal spans, one JSON per line
 //	asetssim -timeline out.json           # Chrome trace-event timeline (Perfetto)
 //	asetssim -faults plan.json -admit slack:2   # fault injection + shedding
+//	asetssim -keys 64 -policy asets-ca    # data contention + conflict-aware dispatch
 //
 // -faults names a fault.Plan JSON file and -admit selects an admission
 // controller (none, queue:N, slack[:tol], missratio[:enter,exit]); see
 // docs/ROBUSTNESS.md. Both are validated before the run starts and compose
 // with -compare (the plan is shared; each policy gets a fresh controller).
+//
+// -keys enables the data-contention model (docs/CONTENTION.md): every
+// transaction draws a Zipf-skewed read/write set and the simulator switches
+// to commit-time validation with deterministic re-execution. The -ca policy
+// variants wrap their base policy with conflict-aware dispatch.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cliflag"
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -53,6 +60,11 @@ var policies = map[string]func() sched.Scheduler{
 	"asets-sym": func() sched.Scheduler {
 		return core.New(core.WithRule(core.RuleSymmetric), core.WithName("ASETS*(sym)"))
 	},
+	// Conflict-aware variants: the base policy behind a dispatch wrapper that
+	// defers transactions predicted to conflict with busy work
+	// (docs/CONTENTION.md). On keyless workloads they reduce to the base.
+	"asets-ca": func() sched.Scheduler { return contention.NewDeferring(core.New(), 0) },
+	"edf-ca":   func() sched.Scheduler { return contention.NewDeferring(sched.NewEDF(), 0) },
 }
 
 func policyNames() string {
@@ -94,11 +106,15 @@ func main() {
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
 	)
 	rob := cliflag.AddRobustness(flag.CommandLine)
+	cont := cliflag.AddContention(flag.CommandLine)
 	flag.Parse()
 
-	// Validate the robustness flags before any work, so a typo is a crisp
-	// CLI error rather than a mid-run failure.
+	// Validate the robustness and contention flags before any work, so a
+	// typo is a crisp CLI error rather than a mid-run failure.
 	if err := rob.Load(); err != nil {
+		cliflag.Fatal("asetssim", err)
+	}
+	if err := cont.Load(); err != nil {
 		cliflag.Fatal("asetssim", err)
 	}
 
@@ -107,11 +123,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "asetssim: -faults/-admit apply to open-loop runs; the closed-loop simulator (-users) does not support them")
 			os.Exit(2)
 		}
+		if cont.Active() {
+			fmt.Fprintln(os.Stderr, "asetssim: -keys applies to open-loop runs; the closed-loop simulator (-users) does not support it")
+			os.Exit(2)
+		}
 		runClosedLoop(*users, *util, *seed, *policy, *patience)
 		return
 	}
+	if *load != "" && cont.Active() {
+		fmt.Fprintln(os.Stderr, "asetssim: -keys draws read/write sets at generation time; it does not compose with -load (regenerate instead)")
+		os.Exit(2)
+	}
 
-	set, cfg, err := buildWorkload(*load, *n, *util, *kmax, *alpha, *seed, *wfLen, *wfMem, *weights, *batch, *random)
+	set, cfg, err := buildWorkload(*load, *n, *util, *kmax, *alpha, *seed, *wfLen, *wfMem, *weights, *batch, *random, cont.Keyspace())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asetssim: %v\n", err)
 		os.Exit(1)
@@ -184,7 +208,7 @@ func wrapInvariants(s sched.Scheduler) sched.Scheduler {
 }
 
 func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
-	wfLen, wfMem int, weights, batch, random bool) (*txn.Set, *workload.Config, error) {
+	wfLen, wfMem int, weights, batch, random bool, ks *contention.Keyspace) (*txn.Set, *workload.Config, error) {
 	if load != "" {
 		f, err := os.Open(load)
 		if err != nil {
@@ -210,7 +234,7 @@ func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
 	if random {
 		cfg.Order = workload.OrderRandom
 	}
-	set, err := workload.Generate(cfg)
+	set, err := workload.Spec{Config: cfg, Contention: ks}.Build()
 	return set, &cfg, err
 }
 
@@ -320,6 +344,9 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 	if rob.Active() {
 		fmt.Printf("  faults: admitted=%d shed=%d aborts=%d restarts=%d stalls=%d\n",
 			summary.N, summary.Shed, summary.Aborts, summary.Restarts, summary.Stalls)
+	}
+	if contention.HasKeys(set) {
+		fmt.Printf("  contention: validate_fails=%d\n", summary.ValidateFails)
 	}
 	if c, ok := s.(*core.Checked); ok {
 		fmt.Printf("  invariants: %d decision points audited, 0 violations\n", c.Checks())

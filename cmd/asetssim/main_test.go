@@ -14,7 +14,7 @@ import (
 )
 
 func TestBuildWorkloadGenerated(t *testing.T) {
-	set, cfg, err := buildWorkload("", 200, 0.8, 3, 0.5, 7, 5, 2, true, true, true)
+	set, cfg, err := buildWorkload("", 200, 0.8, 3, 0.5, 7, 5, 2, true, true, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestBuildWorkloadGenerated(t *testing.T) {
 }
 
 func TestBuildWorkloadIndependent(t *testing.T) {
-	set, cfg, err := buildWorkload("", 100, 0.5, 1, 0.5, 1, 1, 1, false, false, false)
+	set, cfg, err := buildWorkload("", 100, 0.5, 1, 0.5, 1, 1, 1, false, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestBuildWorkloadFromFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, cfg, err := buildWorkload(path, 0, 0, 0, 0, 0, 0, 0, false, false, false)
+	loaded, cfg, err := buildWorkload(path, 0, 0, 0, 0, 0, 0, 0, false, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestBuildWorkloadFromFile(t *testing.T) {
 }
 
 func TestBuildWorkloadMissingFile(t *testing.T) {
-	if _, _, err := buildWorkload("/does/not/exist.json", 0, 0, 0, 0, 0, 0, 0, false, false, false); err == nil {
+	if _, _, err := buildWorkload("/does/not/exist.json", 0, 0, 0, 0, 0, 0, 0, false, false, false, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/cliflag"
 	"repro/internal/cluster"
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/fault"
@@ -66,7 +67,7 @@ type replay interface {
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		policy  = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls")
+		policy  = flag.String("policy", "asets", "asets, ready, edf, srpt, hdf, fcfs, ls, asets-ca, edf-ca")
 		util    = flag.Float64("util", 0.9, "target utilization")
 		n       = flag.Int("n", 1000, "number of transactions")
 		seed    = cliflag.AddSeed(flag.CommandLine)
@@ -79,6 +80,7 @@ func main() {
 	)
 	rob := cliflag.AddRobustness(flag.CommandLine)
 	cl := cliflag.AddCluster(flag.CommandLine)
+	cont := cliflag.AddContention(flag.CommandLine)
 	flag.Parse()
 
 	// Structured logging shares field keys with the span/event exports, so a
@@ -94,6 +96,10 @@ func main() {
 		"hdf":   sched.NewHDF,
 		"fcfs":  sched.NewFCFS,
 		"ls":    sched.NewLS,
+		// Conflict-aware variants for contended workloads (-keys); on keyless
+		// workloads they reduce to the base policy (docs/CONTENTION.md).
+		"asets-ca": func() sched.Scheduler { return contention.NewDeferring(core.New(), 0) },
+		"edf-ca":   func() sched.Scheduler { return contention.NewDeferring(sched.NewEDF(), 0) },
 	}
 	factory, ok := factories[*policy]
 	if !ok {
@@ -108,6 +114,12 @@ func main() {
 	}
 	if err := cl.Load(); err != nil {
 		cliflag.Fatal("asetsweb", err)
+	}
+	if err := cont.Load(); err != nil {
+		cliflag.Fatal("asetsweb", err)
+	}
+	if cont.Active() && *wfLen > 1 {
+		cliflag.Fatal("asetsweb", errors.New("contention: read/write sets apply to independent transactions; pass -wf-len 1 with -keys"))
 	}
 	if cl.Active() {
 		if *wfLen > 1 {
@@ -129,7 +141,7 @@ func main() {
 		if *weights {
 			cfg = cfg.WithWeights()
 		}
-		set, err := workload.Generate(cfg)
+		set, err := workload.Spec{Config: cfg, Contention: cont.Keyspace()}.Build()
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/cluster"
+	"repro/internal/contention"
 	"repro/internal/fault"
 )
 
@@ -137,6 +138,58 @@ func (c *Cluster) Retry() cluster.Retry {
 
 // Active reports whether a multi-instance fleet was requested.
 func (c *Cluster) Active() bool { return c.Instances > 1 }
+
+// Contention bundles the data-contention flags shared by asetssim and
+// asetsweb: the keyspace size, skew and per-transaction read/write set sizes
+// (docs/CONTENTION.md). Zero keys means contention is off — the run keeps
+// the classic no-validation path.
+type Contention struct {
+	// Keys is the -keys value: the abstract row count (0 = contention off).
+	Keys int
+	// Alpha is the -key-alpha Zipf skew (0 = uniform).
+	Alpha float64
+	// Reads and Writes are the -key-reads/-key-writes set sizes.
+	Reads  int
+	Writes int
+	// ReadOnlyProb is the -readonly-prob chance a transaction draws no writes.
+	ReadOnlyProb float64
+}
+
+// AddContention registers the contention flag set on fs and returns the
+// destination. Call Load after fs.Parse.
+func AddContention(fs *flag.FlagSet) *Contention {
+	c := &Contention{}
+	fs.IntVar(&c.Keys, "keys", 0, "contention keyspace size; 0 disables the data-contention model (docs/CONTENTION.md)")
+	fs.Float64Var(&c.Alpha, "key-alpha", 0.9, "Zipf skew of key popularity (0 = uniform)")
+	fs.IntVar(&c.Reads, "key-reads", 4, "read-set size per transaction")
+	fs.IntVar(&c.Writes, "key-writes", 2, "write-set size per transaction")
+	fs.Float64Var(&c.ReadOnlyProb, "readonly-prob", 0, "probability a transaction is read-only (draws no writes)")
+	return c
+}
+
+// Load validates the contention flags so a bad keyspace is a startup error
+// rather than a mid-run failure.
+func (c *Contention) Load() error {
+	if ks := c.Keyspace(); ks != nil {
+		return ks.Validate()
+	}
+	return nil
+}
+
+// Keyspace returns the configured keyspace, or nil when -keys is zero. The
+// Seed is left unset so workload.Spec derives it from the workload seed.
+func (c *Contention) Keyspace() *contention.Keyspace {
+	if c.Keys == 0 {
+		return nil
+	}
+	return &contention.Keyspace{
+		Keys: c.Keys, Alpha: c.Alpha,
+		Reads: c.Reads, Writes: c.Writes, ReadOnlyProb: c.ReadOnlyProb,
+	}
+}
+
+// Active reports whether the data-contention model is configured.
+func (c *Contention) Active() bool { return c.Keys != 0 }
 
 // AddSeed registers the shared -seed flag (base workload seed) on fs.
 func AddSeed(fs *flag.FlagSet) *uint64 {

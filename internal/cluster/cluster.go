@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/admit"
+	"repro/internal/contention"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -26,6 +27,10 @@ type instance struct {
 	sched sched.Scheduler
 	ctrl  admit.Controller
 	inj   *fault.Injector
+	// val is the instance's commit-time validator — each fault domain is an
+	// independent database, so versions never flow across instances; nil on
+	// keyless workloads (docs/CONTENTION.md).
+	val *contention.Validator
 
 	running *txn.Transaction
 	queued  int     // admitted, unfinished, not running, not backing off
@@ -188,6 +193,7 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 		if len(cfg.Faults) > 0 && !cfg.Faults[i].Zero() {
 			inst.inj = fault.NewInjector(cfg.Faults[i], n)
 		}
+		inst.val = contention.NewValidator(set)
 		insts[i] = inst
 	}
 
@@ -214,6 +220,13 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 			windows += len(p.Stalls)
 		}
 		maxSteps = (8*n+64)*scale + 16*windows + 64*cfg.Instances
+	}
+	if contention.HasKeys(set) {
+		// Validation failures re-execute from scratch; each failure needs a
+		// distinct conflicting commit inside the victim's open window, so a
+		// per-instance population of at most n bounds the extra steps
+		// quadratically (same bound as the single-backend simulator).
+		maxSteps = 2*maxSteps + 2*n*n
 	}
 
 	var (
@@ -377,6 +390,9 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 				return nil, fmt.Errorf("cluster: instance %d scheduler returned transaction %d before its arrival (%v > %v)", inst.idx, t.ID, t.Arrival, now)
 			}
 			t.Started = true
+			if inst.val != nil {
+				inst.val.Begin(t)
+			}
 			inst.queued--
 			inst.running = t
 			rec.Dispatch(now, t, inst.name)
@@ -445,7 +461,19 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 				continue
 			}
 			inst.running = nil
-			if inst.inj != nil && inst.inj.AbortsAttempt(t) {
+			if inst.val != nil && !inst.val.CommitCheck(t) {
+				// Read-set invalidated by a concurrent commit on this
+				// instance: rewind and requeue for a fresh incarnation,
+				// exactly like the single-backend validate-fail path.
+				inst.backlog += t.Length - t.Remaining
+				t.Remaining = t.Length
+				rec.ValidateFail(now, t, inst.name)
+				inst.queued++
+				inst.delivered = true
+				inst.sched.OnPreempt(now, t)
+				continue
+			}
+			if inst.val == nil && inst.inj != nil && inst.inj.AbortsAttempt(t) {
 				inst.backlog += t.Length - t.Remaining
 				t.Remaining = t.Length
 				retryAt := inst.inj.RecordAbort(now, t)
@@ -513,6 +541,11 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 					inst.inj.RecordCrashLoss(t)
 					rec.Abort(now, t, "crash", now)
 					t.Remaining = t.Length // new incarnation, arrival preserved
+					if inst.val != nil {
+						// The in-flight incarnation dies with the process;
+						// committed versions survive the restart.
+						inst.val.Reset(t)
+					}
 					owner[t.ID] = -1
 					if cfg.NoFailover || fails[t.ID] >= retry.Budget {
 						lost++
@@ -667,6 +700,9 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 			summary.Aborts += inst.inj.Aborts()
 			summary.Restarts += inst.inj.Restarts()
 			summary.Stalls += inst.inj.StallsEntered()
+		}
+		if inst.val != nil {
+			summary.ValidateFails += inst.val.Fails()
 		}
 		res.Misses += inst.misses
 		res.Instances[i] = InstanceResult{

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/contention"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -39,7 +40,8 @@ type recorder struct {
 	tardiness   *obs.Histogram
 	response    *obs.Histogram
 
-	stallsC *obs.Counter
+	stallsC       *obs.Counter
+	validateFails *obs.Counter
 
 	routed     *obs.Counter
 	failovers  *obs.Counter
@@ -61,6 +63,7 @@ func newRecorder(sink obs.Sink, reg *obs.Registry) *recorder {
 	r := &recorder{sink: sink, fr: fault.NewRecorder(sink, reg)}
 	if reg != nil {
 		r.stallsC = reg.Counter(fault.MetricStalls, "backend stall/crash windows entered")
+		r.validateFails = reg.Counter(contention.MetricValidateFails, "commit-time validation failures (contention re-executions)")
 		r.arrivals = reg.Counter(sched.MetricArrivals, "transactions submitted to the scheduler")
 		r.dispatches = reg.Counter(sched.MetricDispatches, "transactions checked out to a server")
 		r.preemptions = reg.Counter(sched.MetricPreemptions, "transactions returned unfinished after running")
@@ -153,6 +156,20 @@ func (r *recorder) StallEntered(now float64, w fault.Window, inst string) {
 	r.sink.Emit(obs.Event{
 		Time: now, Kind: obs.KindStall, Txn: -1, Workflow: -1,
 		Remaining: w.Duration, Detail: w.Kind.String() + "@" + inst,
+	})
+}
+
+// ValidateFail records a commit-time validation failure: the transaction's
+// read set was invalidated by a concurrent commit on its instance, so it
+// re-executes from scratch with a fresh incarnation (docs/CONTENTION.md).
+// The detail names the instance, mirroring Dispatch.
+func (r *recorder) ValidateFail(now float64, t *txn.Transaction, inst string) {
+	if r.validateFails != nil {
+		r.validateFails.Inc()
+	}
+	r.sink.Emit(obs.Event{
+		Time: now, Kind: obs.KindValidateFail, Txn: t.ID, Workflow: -1,
+		Deadline: t.Deadline, Remaining: t.Length, Detail: inst,
 	})
 }
 

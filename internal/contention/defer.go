@@ -1,0 +1,268 @@
+package contention
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// DefaultWindow is the default probe depth of a Deferring wrapper: how many
+// queue positions past a predicted-conflicting head the wrapper searches
+// for a non-conflicting transaction to steal.
+const DefaultWindow = 8
+
+// Deferring wraps any scheduling policy with conflict-aware dispatch (the
+// "CA-" policy family, docs/CONTENTION.md): when the wrapped policy's
+// chosen head is predicted to conflict with a busy transaction — one
+// checked out on a server, or one preempted mid-incarnation whose read
+// snapshot is still open — the wrapper probes up to Window further
+// candidates in the policy's own preference order and steals the first
+// non-conflicting one, returning the skipped candidates to the policy
+// untouched. Predicted conflict is read/write overlap in either direction:
+// dispatching the candidate could invalidate the busy transaction's open
+// reads, or the busy transaction's eventual commit could invalidate the
+// candidate's.
+//
+// The wrapper is work-conserving: when every probed candidate conflicts it
+// dispatches the policy's original head anyway, so a CA- policy never
+// idles a server the base policy would have used. Deferral decisions are a
+// pure function of the wrapped policy's deterministic order and the busy
+// sets, so CA- runs replay bit-identically.
+//
+// Deferral pays off when parallel servers (or preemption interleavings)
+// would open conflicting incarnations concurrently; at hot-spot extremes
+// where nearly every pair conflicts, the work-conserving fallback keeps it
+// from doing worse than the base policy by much, but it cannot win there —
+// see docs/CONTENTION.md for the measured operating envelope.
+type Deferring struct {
+	inner  sched.Scheduler
+	window int
+	name   string
+	sink   obs.Sink
+
+	// out holds the transactions currently checked out through Next and
+	// not yet returned via OnPreempt/OnCompletion (the check-out protocol
+	// guarantees every one comes back before the next Next).
+	out []*txn.Transaction
+	// openTxns holds queued transactions with partial progress: their
+	// incarnation began at an earlier dispatch and its read snapshot stays
+	// open until they complete or are rewound (validation failure, crash).
+	// openMark[id] mirrors membership for O(1) tests.
+	openTxns []*txn.Transaction
+	openMark []bool
+	// cand is the probe scratch buffer (capacity window+1).
+	cand []*txn.Transaction
+}
+
+// NewDeferring wraps inner with conflict-aware dispatch. A non-positive
+// window selects DefaultWindow.
+//
+//lint:coldpath policy construction is per-run setup
+func NewDeferring(inner sched.Scheduler, window int) *Deferring {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Deferring{
+		inner:  inner,
+		window: window,
+		name:   "CA-" + inner.Name(),
+		cand:   make([]*txn.Transaction, 0, window+1),
+	}
+}
+
+// Unwrap returns the wrapped policy, for invariant audits and tests.
+func (d *Deferring) Unwrap() sched.Scheduler { return d.inner }
+
+// Name implements sched.Scheduler.
+func (d *Deferring) Name() string { return d.name }
+
+// Init implements sched.Scheduler.
+//
+//lint:coldpath per-run setup: busy-set buffers are built before the event loop
+func (d *Deferring) Init(set *txn.Set) {
+	n := set.Len()
+	if cap(d.out) < n {
+		d.out = make([]*txn.Transaction, 0, n)
+		d.openTxns = make([]*txn.Transaction, 0, n)
+	}
+	d.out = d.out[:0]
+	d.openTxns = d.openTxns[:0]
+	d.openMark = make([]bool, n)
+	d.cand = d.cand[:0]
+	d.inner.Init(set)
+}
+
+// SetSink implements sched.SinkSetter: conflict_defer events join the
+// instrumented stream, and the sink propagates to the wrapped policy so
+// its internal events (ASETS* aging, mode switches) keep flowing.
+func (d *Deferring) SetSink(s obs.Sink) {
+	d.sink = s
+	if ss, ok := d.inner.(sched.SinkSetter); ok {
+		ss.SetSink(s)
+	}
+}
+
+// OnArrival implements sched.Scheduler.
+func (d *Deferring) OnArrival(now float64, t *txn.Transaction) {
+	d.inner.OnArrival(now, t)
+}
+
+// Next implements sched.Scheduler.
+func (d *Deferring) Next(now float64) *txn.Transaction {
+	head := d.inner.Next(now)
+	if head == nil {
+		return nil
+	}
+	if !d.conflictsBusy(head) {
+		d.checkout(head)
+		return head
+	}
+	// The head is predicted to conflict: probe deeper in the policy's own
+	// order for a non-conflicting steal.
+	cand := d.cand[:0]
+	cand = append(cand, head)
+	var pick *txn.Transaction
+	for len(cand) <= d.window {
+		c := d.inner.Next(now)
+		if c == nil {
+			break
+		}
+		if !d.conflictsBusy(c) {
+			pick = c
+			break
+		}
+		cand = append(cand, c)
+	}
+	d.cand = cand
+	if pick == nil {
+		// Every candidate in the window conflicts. Stay work-conserving:
+		// dispatch the original head and return the rest untouched.
+		pick = cand[0]
+		cand = cand[1:]
+	} else if d.sink != nil {
+		// An actual steal: record each candidate the pick jumped past.
+		for _, c := range cand {
+			d.sink.Emit(obs.Event{
+				Time: now, Kind: obs.KindConflictDefer, Txn: c.ID, Workflow: -1,
+				Deadline: c.Deadline, Remaining: c.Remaining,
+			})
+		}
+	}
+	// Hand the deferred candidates back in probe order. Their keys and
+	// remaining work are unchanged, so deterministic policies restore them
+	// to their exact queue positions.
+	for _, c := range cand {
+		d.inner.OnPreempt(now, c)
+	}
+	d.checkout(pick)
+	return pick
+}
+
+// OnPreempt implements sched.Scheduler.
+func (d *Deferring) OnPreempt(now float64, t *txn.Transaction) {
+	d.release(t)
+	// A preempted transaction with partial progress still holds its read
+	// snapshot (the incarnation spans preemptions); one rewound to full
+	// length (validation failure, crash loss) lost it. The strict < holds
+	// exactly when progress was made: rewinds restore Remaining = Length
+	// bit-for-bit.
+	if t.Remaining < t.Length {
+		d.markOpen(t)
+	} else {
+		d.unmarkOpen(t)
+	}
+	d.inner.OnPreempt(now, t)
+}
+
+// OnCompletion implements sched.Scheduler.
+func (d *Deferring) OnCompletion(now float64, t *txn.Transaction) {
+	d.release(t)
+	d.unmarkOpen(t)
+	d.inner.OnCompletion(now, t)
+}
+
+// checkout records t as running.
+func (d *Deferring) checkout(t *txn.Transaction) {
+	//lint:ignore hotpath-alloc out is presized to the workload length at Init
+	d.out = append(d.out, t)
+}
+
+// release removes t from the checked-out set.
+func (d *Deferring) release(t *txn.Transaction) {
+	for i, o := range d.out {
+		if o.ID == t.ID {
+			last := len(d.out) - 1
+			d.out[i] = d.out[last]
+			d.out[last] = nil
+			d.out = d.out[:last]
+			return
+		}
+	}
+}
+
+func (d *Deferring) markOpen(t *txn.Transaction) {
+	if !d.openMark[t.ID] {
+		d.openMark[t.ID] = true
+		//lint:ignore hotpath-alloc openTxns is presized to the workload length at Init
+		d.openTxns = append(d.openTxns, t)
+	}
+}
+
+func (d *Deferring) unmarkOpen(t *txn.Transaction) {
+	if !d.openMark[t.ID] {
+		return
+	}
+	d.openMark[t.ID] = false
+	for i, o := range d.openTxns {
+		if o.ID == t.ID {
+			last := len(d.openTxns) - 1
+			d.openTxns[i] = d.openTxns[last]
+			d.openTxns[last] = nil
+			d.openTxns = d.openTxns[:last]
+			return
+		}
+	}
+}
+
+// conflictsBusy reports whether dispatching c is predicted to produce a
+// validation failure: c overlaps a busy transaction in a way where either
+// side's commit invalidates the other's open reads. Write-write overlap
+// alone is not predicted to fail — only read sets are validated.
+func (d *Deferring) conflictsBusy(c *txn.Transaction) bool {
+	for _, o := range d.out {
+		if o.ID != c.ID && conflicts(c, o) {
+			return true
+		}
+	}
+	for _, o := range d.openTxns {
+		if o.ID != c.ID && conflicts(c, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflicts reports read/write overlap between a and b in either
+// direction.
+func conflicts(a, b *txn.Transaction) bool {
+	return overlap(a.Writes, b.Reads) || overlap(a.Reads, b.Writes)
+}
+
+// overlap merge-scans two sorted key sets for a common element.
+func overlap(a, b []txn.Key) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+var _ sched.Scheduler = (*Deferring)(nil)
+var _ sched.SinkSetter = (*Deferring)(nil)

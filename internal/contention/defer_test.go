@@ -1,0 +1,170 @@
+package contention
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// queueSched is a transparent FIFO inner policy for exercising the wrapper:
+// Next pops the front, OnPreempt re-appends (so deferred candidates land at
+// the back in probe order), OnCompletion drops.
+type queueSched struct {
+	q []*txn.Transaction
+}
+
+func (s *queueSched) Name() string      { return "FIFO" }
+func (s *queueSched) Init(set *txn.Set) { s.q = s.q[:0] }
+func (s *queueSched) OnArrival(now float64, t *txn.Transaction) {
+	s.q = append(s.q, t)
+}
+func (s *queueSched) Next(now float64) *txn.Transaction {
+	if len(s.q) == 0 {
+		return nil
+	}
+	t := s.q[0]
+	s.q = s.q[1:]
+	return t
+}
+func (s *queueSched) OnPreempt(now float64, t *txn.Transaction)    { s.q = append(s.q, t) }
+func (s *queueSched) OnCompletion(now float64, t *txn.Transaction) {}
+
+// deferFixture: t0 writes key 1; t1 reads key 1 (conflicts with t0);
+// t2 touches key 7 only (conflicts with nobody); t3 reads key 1 too.
+func deferFixture(t *testing.T) *txn.Set {
+	t.Helper()
+	txns := []*txn.Transaction{
+		{ID: 0, Deadline: 10, Length: 2, Weight: 1, Reads: []txn.Key{0}, Writes: []txn.Key{1}},
+		{ID: 1, Deadline: 10, Length: 2, Weight: 1, Reads: []txn.Key{1}},
+		{ID: 2, Deadline: 10, Length: 2, Weight: 1, Reads: []txn.Key{7}, Writes: []txn.Key{7}},
+		{ID: 3, Deadline: 10, Length: 2, Weight: 1, Reads: []txn.Key{1}, Writes: []txn.Key{2}},
+	}
+	set, err := txn.NewSet(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestDeferringSteal: with the conflicting head's writer checked out, the
+// wrapper skips past it to the first non-conflicting candidate, emits one
+// conflict_defer event per skipped transaction, and returns the skipped
+// ones to the inner policy.
+func TestDeferringSteal(t *testing.T) {
+	set := deferFixture(t)
+	inner := &queueSched{}
+	d := NewDeferring(inner, 4)
+	col := &obs.Collector{}
+	d.SetSink(col)
+	d.Init(set)
+	for _, tx := range set.Txns {
+		d.OnArrival(0, tx)
+	}
+
+	if got := d.Next(0); got != set.Txns[0] {
+		t.Fatalf("first Next = %v, want t0 (empty busy set defers nothing)", got)
+	}
+	// t0 (writes key 1) is busy; FIFO head t1 reads key 1 → conflict; t2 is
+	// clean and must be stolen past it.
+	if got := d.Next(0); got != set.Txns[2] {
+		t.Fatalf("second Next = %v, want the non-conflicting t2", got)
+	}
+	defers := 0
+	for _, ev := range col.Events() {
+		if ev.Kind == obs.KindConflictDefer {
+			defers++
+			if ev.Txn != 1 {
+				t.Fatalf("conflict_defer for txn %d, want the deferred t1", ev.Txn)
+			}
+		}
+	}
+	if defers != 1 {
+		t.Fatalf("%d conflict_defer events, want 1", defers)
+	}
+	// The deferred t1 went back to the inner queue, not lost.
+	if len(inner.q) != 2 || inner.q[0] != set.Txns[3] || inner.q[1] != set.Txns[1] {
+		t.Fatalf("inner queue after steal = %v", inner.q)
+	}
+}
+
+// TestDeferringWorkConserving: when every probed candidate conflicts with
+// the busy set, the wrapper dispatches the original head anyway and emits
+// no defer events.
+func TestDeferringWorkConserving(t *testing.T) {
+	set := deferFixture(t)
+	inner := &queueSched{}
+	d := NewDeferring(inner, 4)
+	col := &obs.Collector{}
+	d.SetSink(col)
+	d.Init(set)
+	// Only the writer and the two conflicting readers arrive.
+	d.OnArrival(0, set.Txns[0])
+	d.OnArrival(0, set.Txns[1])
+	d.OnArrival(0, set.Txns[3])
+
+	if got := d.Next(0); got != set.Txns[0] {
+		t.Fatalf("first Next = %v, want t0", got)
+	}
+	if got := d.Next(0); got != set.Txns[1] {
+		t.Fatalf("all-conflicting Next = %v, want the original head t1", got)
+	}
+	for _, ev := range col.Events() {
+		if ev.Kind == obs.KindConflictDefer {
+			t.Fatal("work-conserving fallback emitted a conflict_defer event")
+		}
+	}
+	// t3 was probed and returned; it must still be dispatchable.
+	if got := d.Next(0); got != set.Txns[3] {
+		t.Fatalf("third Next = %v, want the returned t3", got)
+	}
+}
+
+// TestDeferringOpenIncarnations: a preempted transaction with partial
+// progress keeps its read snapshot open, so conflicting work is deferred
+// around it even though no server holds it; a rewind to full length closes
+// it.
+func TestDeferringOpenIncarnations(t *testing.T) {
+	set := deferFixture(t)
+	inner := &queueSched{}
+	d := NewDeferring(inner, 4)
+	d.Init(set)
+	d.OnArrival(0, set.Txns[0])
+	d.OnArrival(0, set.Txns[1])
+	d.OnArrival(0, set.Txns[2])
+
+	if got := d.Next(0); got != set.Txns[0] {
+		t.Fatalf("Next = %v, want t0", got)
+	}
+	// t0 is preempted mid-incarnation: still busy for conflict purposes.
+	set.Txns[0].Remaining = 1
+	d.OnPreempt(1, set.Txns[0])
+	if got := d.Next(1); got != set.Txns[2] {
+		t.Fatalf("Next past an open incarnation = %v, want t2", got)
+	}
+	d.OnCompletion(2, set.Txns[2])
+	// Validation failure rewinds t0 to full length: its snapshot is gone,
+	// t1 no longer conflicts with anything open.
+	if got := d.Next(2); got != set.Txns[0] {
+		t.Fatalf("Next = %v, want the re-queued t0", got)
+	}
+	set.Txns[0].Remaining = set.Txns[0].Length
+	d.OnPreempt(2, set.Txns[0])
+	if got := d.Next(2); got != set.Txns[1] {
+		t.Fatalf("Next after rewind = %v, want t1 (no open snapshot left)", got)
+	}
+}
+
+func TestDeferringNameAndUnwrap(t *testing.T) {
+	inner := &queueSched{}
+	d := NewDeferring(inner, 0)
+	if d.Name() != "CA-FIFO" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+	if d.Unwrap() != inner {
+		t.Fatal("Unwrap lost the inner policy")
+	}
+	if d.window != DefaultWindow {
+		t.Fatalf("window = %d, want DefaultWindow on non-positive input", d.window)
+	}
+}

@@ -1,0 +1,185 @@
+// Golden determinism tests for the contention model: identical seeds must
+// produce byte-identical decision-event streams — validation failures and
+// conflict deferrals included — for every policy, on any worker count.
+// These live in an external test package because they drive the full
+// sim/workload stack, which imports contention.
+package contention_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// goldenServers matches the contention benchmark's parallel-dispatch regime.
+const goldenServers = 4
+
+// goldenSpec is a hot contended workload: small keyspace, strong skew, load
+// for four servers.
+func goldenSpec(n int, seed uint64) workload.Spec {
+	return workload.NewSpec(0.85*goldenServers, seed).WithN(n).
+		WithContention(contention.Keyspace{Keys: 256, Alpha: 0.9, Reads: 4, Writes: 2})
+}
+
+// goldenRun executes one contended run and returns its JSON-encoded event
+// stream.
+func goldenRun(t *testing.T, seed uint64, newSched func() sched.Scheduler) []byte {
+	t.Helper()
+	set, err := goldenSpec(200, seed).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	if _, err := sim.New(sim.Config{Servers: goldenServers, Sink: col}).Run(set, newSched()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, ev := range col.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSchedules: for every policy — contention-blind and
+// conflict-aware — two runs from the same seed replay bit-identically, and
+// the stream carries the contention events the policy is expected to emit.
+func TestGoldenSchedules(t *testing.T) {
+	policies := []struct {
+		name       string
+		wantDefers bool
+		newSched   func() sched.Scheduler
+	}{
+		{"asets", false, func() sched.Scheduler { return core.New() }},
+		{"asets-ca", true, func() sched.Scheduler { return contention.NewDeferring(core.New(), 0) }},
+		{"edf-ca", true, func() sched.Scheduler { return contention.NewDeferring(sched.NewEDF(), 0) }},
+	}
+	for _, pol := range policies {
+		t.Run(pol.name, func(t *testing.T) {
+			a := goldenRun(t, 42, pol.newSched)
+			b := goldenRun(t, 42, pol.newSched)
+			if !bytes.Equal(a, b) {
+				t.Fatal("fixed-seed event streams differ between runs")
+			}
+			c := goldenRun(t, 43, pol.newSched)
+			if bytes.Equal(a, c) {
+				t.Fatal("different seeds produced identical event streams")
+			}
+			fails := bytes.Count(a, []byte(obs.KindValidateFail.String()))
+			if fails == 0 {
+				t.Fatal("hot contended run produced no validate_fail events")
+			}
+			defers := bytes.Count(a, []byte(obs.KindConflictDefer.String()))
+			if pol.wantDefers && defers == 0 {
+				t.Fatal("conflict-aware run produced no conflict_defer events")
+			}
+			if !pol.wantDefers && defers != 0 {
+				t.Fatalf("blind policy emitted %d conflict_defer events", defers)
+			}
+		})
+	}
+}
+
+// TestGoldenValidateFailAccounting: the summary's ValidateFails equals the
+// validate_fail events in the stream, and each failed transaction still
+// completes exactly once.
+func TestGoldenValidateFailAccounting(t *testing.T) {
+	set, err := goldenSpec(200, 7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	sum, err := sim.New(sim.Config{Servers: goldenServers, Sink: col}).Run(set, core.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, completions := 0, 0
+	for _, ev := range col.Events() {
+		switch ev.Kind {
+		case obs.KindValidateFail:
+			fails++
+		case obs.KindCompletion:
+			completions++
+		}
+	}
+	if fails != sum.ValidateFails {
+		t.Fatalf("stream has %d validate_fail events, summary says %d", fails, sum.ValidateFails)
+	}
+	if fails == 0 {
+		t.Fatal("hot contended run produced no validation failures")
+	}
+	if completions != set.Len() {
+		t.Fatalf("%d completions for %d transactions: re-execution lost or duplicated work", completions, set.Len())
+	}
+	for _, tx := range set.Txns {
+		if !tx.Finished {
+			t.Fatalf("txn %d never finished", tx.ID)
+		}
+	}
+}
+
+// TestContentionHammer races contended conflict-aware runs across pool
+// workers (the -race target of scripts/check.sh and CI) and checks the
+// serial/parallel bit-exactness contract on the full event streams.
+func TestContentionHammer(t *testing.T) {
+	jobs := func() ([]runner.Job, []*obs.Collector) {
+		var js []runner.Job
+		var cols []*obs.Collector
+		for s := uint64(0); s < 3; s++ {
+			for _, newSched := range []func() sched.Scheduler{
+				func() sched.Scheduler { return core.New() },
+				func() sched.Scheduler { return contention.NewDeferring(core.New(), 0) },
+			} {
+				seed := 42 + s
+				col := &obs.Collector{}
+				cols = append(cols, col)
+				js = append(js, runner.Job{
+					Gen: func(sd uint64) (*txn.Set, error) {
+						return goldenSpec(120, sd).Build()
+					},
+					Seed:   &seed,
+					New:    newSched,
+					Config: sim.Config{Servers: goldenServers, Sink: col, Metrics: obs.NewRegistry()},
+					Label:  fmt.Sprintf("hammer-seed%d", seed),
+				})
+			}
+		}
+		return js, cols
+	}
+	digest := func(workers int) []byte {
+		js, cols := jobs()
+		if _, err := (runner.Pool{Workers: workers}).Run(context.Background(), js); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, col := range cols {
+			for _, ev := range col.Events() {
+				b, err := json.Marshal(ev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf.Write(b)
+				buf.WriteByte('\n')
+			}
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(digest(1), digest(4)) {
+		t.Fatal("serial and 4-worker contended runs produced different event streams")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/contention"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -107,6 +108,9 @@ type Stats struct {
 	Aborts   int
 	Restarts int
 	Stalls   int
+	// ValidateFails counts commit-time validation failures — contention-
+	// driven re-executions (zero without a contended workload).
+	ValidateFails int
 	// Held counts aborted transactions currently waiting out a backoff.
 	Held int
 	// Backlog is the remaining work (simulated units) over admitted
@@ -136,6 +140,8 @@ type Executor struct {
 
 	inj     *fault.Injector
 	rec     *fault.Recorder
+	val     *contention.Validator
+	crec    *contention.Recorder
 	initErr error
 
 	mu    sync.Mutex
@@ -187,6 +193,13 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 		// event entry so they stay in emission order with decision events
 		// while sink delivery is batched.
 		e.rec = fault.NewRecorder(sched.EventSink(s, opts.Sink), opts.Metrics)
+	}
+	// A workload with read/write sets switches on commit-time validation:
+	// contention-driven aborts replace the injector's random draws
+	// (docs/CONTENTION.md). Nil for plain workloads.
+	e.val = contention.NewValidator(set)
+	if e.val != nil {
+		e.crec = contention.NewRecorder(sched.EventSink(s, opts.Sink), opts.Metrics)
 	}
 	e.sched = s
 	e.stats = Stats{Running: -1}
@@ -440,6 +453,11 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 			continue
 		}
 		t.Started = true
+		if e.val != nil {
+			// Open (or continue) the incarnation: the read snapshot is as
+			// old as the incarnation's first dispatch.
+			e.val.Begin(t)
+		}
 		e.mu.Lock()
 		e.stats.Running = t.ID
 		e.stats.Now = now
@@ -483,6 +501,11 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 						e.stats.Backlog += t.Length - t.Remaining
 						e.mu.Unlock()
 						t.Remaining = t.Length
+						if e.val != nil {
+							// The in-flight incarnation died with its
+							// snapshot; committed versions survive.
+							e.val.Reset(t)
+						}
 						e.rec.Abort(now, t, "crash", now)
 					}
 				}
@@ -499,10 +522,29 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		consumed := t.Remaining
 		now = finishSim
 
+		// Contention-driven abort: commit-time validation failed because a
+		// commit during the incarnation overwrote one of t's reads. Rewind
+		// to full length and re-queue immediately — the next dispatch opens
+		// a fresh incarnation.
+		if e.val != nil && !e.val.CommitCheck(t) {
+			e.mu.Lock()
+			e.stats.ValidateFails++
+			e.stats.Backlog += t.Length - consumed
+			e.stats.Running = -1
+			e.stats.Now = now
+			e.mu.Unlock()
+			t.Remaining = t.Length
+			e.crec.ValidateFail(now, t)
+			e.sched.OnPreempt(now, t)
+			deliverRestarts(now)
+			deliver(now)
+			continue
+		}
+
 		// The injector may abort the attempt at its completion instant: the
 		// transaction stays checked out while it waits out the backoff and
 		// re-enters the scheduler via OnPreempt when it expires.
-		if e.inj != nil && e.inj.AbortsAttempt(t) {
+		if e.val == nil && e.inj != nil && e.inj.AbortsAttempt(t) {
 			retryAt := e.inj.RecordAbort(now, t)
 			e.mu.Lock()
 			e.stats.Aborts++

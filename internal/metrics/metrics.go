@@ -29,6 +29,10 @@ type Summary struct {
 	Aborts   int
 	Restarts int
 	Stalls   int
+	// ValidateFails counts commit-time validation failures — contention-
+	// driven re-executions (zero without a keyspace, docs/CONTENTION.md);
+	// the run loops fill it in after Compute.
+	ValidateFails int
 	// AvgTardiness is (1/N) * sum t_i (Definition 4).
 	AvgTardiness float64
 	// AvgWeightedTardiness is (1/N) * sum t_i*w_i (Definition 5).

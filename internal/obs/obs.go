@@ -86,6 +86,14 @@ const (
 	// KindRecover — an ejected instance's circuit-breaker half-opened after
 	// its outage window ended; Detail carries the instance index.
 	KindRecover
+	// KindValidateFail — a transaction failed commit-time read-set
+	// validation and was rewound for re-execution with a new incarnation
+	// (docs/CONTENTION.md); Remaining carries the rewound full length.
+	KindValidateFail
+	// KindConflictDefer — a conflict-aware policy skipped a queued
+	// transaction predicted to conflict with busy work and stole a later
+	// non-conflicting one; Txn is the deferred transaction.
+	KindConflictDefer
 )
 
 // String returns the stable wire name of the kind, used in JSONL output,
@@ -126,6 +134,10 @@ func (k Kind) String() string {
 		return "eject"
 	case KindRecover:
 		return "recover"
+	case KindValidateFail:
+		return "validate_fail"
+	case KindConflictDefer:
+		return "conflict_defer"
 	default:
 		panic(fmt.Sprintf("obs: unknown event kind %d", int(k)))
 	}
@@ -194,7 +206,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 
 // KindFromString is the inverse of Kind.String.
 func KindFromString(s string) (Kind, error) {
-	for k := KindArrival; k <= KindRecover; k++ {
+	for k := KindArrival; k <= KindConflictDefer; k++ {
 		if k.String() == s {
 			return k, nil
 		}

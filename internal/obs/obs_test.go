@@ -12,7 +12,8 @@ func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindArrival, KindDispatch, KindPreempt, KindCompletion,
 		KindDeadlineMiss, KindAging, KindModeSwitch, KindAbort, KindRestart,
 		KindStall, KindShed, KindDegradeEnter, KindDegradeExit,
-		KindRoute, KindFailover, KindEject, KindRecover}
+		KindRoute, KindFailover, KindEject, KindRecover,
+		KindValidateFail, KindConflictDefer}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

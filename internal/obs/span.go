@@ -569,12 +569,23 @@ func (b *SpanBuilder) emitLocked(ev *Event) {
 			b.closeSeg(st, ev.Time)
 			st.cur = SegQueued
 		}
+	case KindValidateFail:
+		// Commit-time validation failed: the run segment ends and the
+		// rewound transaction waits for a fresh incarnation. Counted as a
+		// restart — like an abort/restart pair, the transaction starts
+		// over — but with no backoff segment (re-queue is immediate).
+		if st := b.stateOf(ev.Txn); st != nil && st.cur == SegRunning {
+			b.closeSeg(st, ev.Time)
+			st.cur = SegQueued
+			st.span.Restarts++
+		}
 	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit,
-		KindRoute, KindEject, KindRecover:
+		KindRoute, KindEject, KindRecover, KindConflictDefer:
 		// No segment transitions: misses ride the completion event's
 		// tardiness, aging precedes an ordinary dispatch, degradation is a
 		// controller-level state, route precedes the arrival that opens the
-		// span, and eject/recover are instance-level breaker transitions.
+		// span, eject/recover are instance-level breaker transitions, and a
+		// conflict-deferred transaction simply stays queued.
 	default:
 		panic(fmt.Sprintf("obs: span builder: unknown event kind %d", int(ev.Kind)))
 	}

@@ -151,6 +151,21 @@ func Validate(events []Event) error {
 			case s.completed:
 				return fail(i, ev, "failover after completion")
 			}
+		case KindValidateFail:
+			s := get(ev.Txn)
+			switch {
+			case !s.arrived:
+				return fail(i, ev, "validate_fail before arrival")
+			case s.completed:
+				return fail(i, ev, "validate_fail after completion")
+			case !s.dispatched:
+				return fail(i, ev, "validate_fail without any dispatch")
+			}
+		case KindConflictDefer:
+			s := get(ev.Txn)
+			if s.completed {
+				return fail(i, ev, "conflict_defer after completion")
+			}
 		case KindAging, KindModeSwitch, KindStall, KindDegradeEnter,
 			KindDegradeExit, KindEject, KindRecover:
 			// Scheduler-, controller- or instance-level events carry no

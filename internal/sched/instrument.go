@@ -36,9 +36,13 @@ const (
 	MetricMisses      = "asets_sched_deadline_misses_total"
 	MetricAging       = "asets_sched_aging_activations_total"
 	MetricModeSwitch  = "asets_sched_mode_switches_total"
-	MetricTardiness   = "asets_tardiness"
-	MetricResponse    = "asets_response_time"
-	MetricSimNow      = "asets_sim_now"
+	// MetricConflictDefers counts queued transactions a conflict-aware
+	// policy (contention.Deferring) skipped in favour of a later
+	// non-conflicting one.
+	MetricConflictDefers = "asets_sched_conflict_defers_total"
+	MetricTardiness      = "asets_tardiness"
+	MetricResponse       = "asets_response_time"
+	MetricSimNow         = "asets_sim_now"
 )
 
 // histBatchSize is the per-histogram insert buffer length: completion
@@ -107,16 +111,17 @@ type Instrumented struct {
 	evBuf [evBatchSize]obs.Event // staged events, delivered in emission order
 	evN   int
 
-	arrivals     *obs.Counter
-	dispatches   *obs.Counter
-	preemptions  *obs.Counter
-	completions  *obs.Counter
-	misses       *obs.Counter
-	aging        *obs.Counter
-	modeSwitches *obs.Counter
-	tardiness    *obs.Histogram
-	response     *obs.Histogram
-	simNow       *obs.Gauge
+	arrivals       *obs.Counter
+	dispatches     *obs.Counter
+	preemptions    *obs.Counter
+	completions    *obs.Counter
+	misses         *obs.Counter
+	aging          *obs.Counter
+	modeSwitches   *obs.Counter
+	conflictDefers *obs.Counter
+	tardiness      *obs.Histogram
+	response       *obs.Histogram
+	simNow         *obs.Gauge
 
 	// Locally accumulated registry updates: the run loop is single-goroutine,
 	// so counts accumulate in plain fields and reach the shared atomic
@@ -124,15 +129,16 @@ type Instrumented struct {
 	// per decision. Mid-run registry reads lag by at most one drain interval
 	// (the executor drains every loop iteration; deterministic outputs are
 	// always post-flush).
-	nArrivals     uint64
-	nDispatches   uint64
-	nPreemptions  uint64
-	nCompletions  uint64
-	nMisses       uint64
-	nAging        uint64
-	nModeSwitches uint64
-	nowVal        float64
-	nowSet        bool
+	nArrivals       uint64
+	nDispatches     uint64
+	nPreemptions    uint64
+	nCompletions    uint64
+	nMisses         uint64
+	nAging          uint64
+	nModeSwitches   uint64
+	nConflictDefers uint64
+	nowVal          float64
+	nowSet          bool
 
 	tardBuf histBatch
 	respBuf histBatch
@@ -178,6 +184,7 @@ func Instrument(s Scheduler, sink obs.Sink, reg *obs.Registry) Scheduler {
 	in.misses = reg.Counter(MetricMisses, "completions past the deadline")
 	in.aging = reg.Counter(MetricAging, "balance-aware T_old activations")
 	in.modeSwitches = reg.Counter(MetricModeSwitch, "EDF/HDF scheduling-entity migrations")
+	in.conflictDefers = reg.Counter(MetricConflictDefers, "queued transactions deferred by conflict-aware dispatch")
 	in.tardiness = reg.Histogram(MetricTardiness, "tardiness of completed transactions", 2)
 	in.response = reg.Histogram(MetricResponse, "response time (finish - arrival) of completed transactions", 2)
 	in.simNow = reg.Gauge(MetricSimNow, "simulated time of the latest scheduler callback")
@@ -265,6 +272,10 @@ func (in *Instrumented) flushCounts() {
 	if in.nModeSwitches > 0 {
 		in.modeSwitches.Add(in.nModeSwitches)
 		in.nModeSwitches = 0
+	}
+	if in.nConflictDefers > 0 {
+		in.conflictDefers.Add(in.nConflictDefers)
+		in.nConflictDefers = 0
 	}
 	if in.nowSet {
 		in.simNow.Set(in.nowVal)
@@ -379,15 +390,18 @@ func (s *innerSink) Emit(ev obs.Event) {
 		s.in.nAging++
 	case obs.KindModeSwitch:
 		s.in.nModeSwitches++
+	case obs.KindConflictDefer:
+		s.in.nConflictDefers++
 	case obs.KindArrival, obs.KindDispatch, obs.KindPreempt,
 		obs.KindCompletion, obs.KindDeadlineMiss:
 		// Decision-loop kinds are counted by the wrapper itself.
 	case obs.KindAbort, obs.KindRestart, obs.KindStall, obs.KindShed,
 		obs.KindDegradeEnter, obs.KindDegradeExit,
-		obs.KindRoute, obs.KindFailover, obs.KindEject, obs.KindRecover:
-		// Fault- and cluster-layer kinds are counted by their recorders at
-		// their emission site (the sim/executor/cluster event loop); pass
-		// them through unchanged.
+		obs.KindRoute, obs.KindFailover, obs.KindEject, obs.KindRecover,
+		obs.KindValidateFail:
+		// Fault-, cluster- and contention-layer kinds are counted by their
+		// recorders at their emission site (the sim/executor/cluster event
+		// loop); pass them through unchanged.
 	default:
 		panic("sched: innerSink received unknown event kind")
 	}

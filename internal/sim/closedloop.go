@@ -219,14 +219,6 @@ func (e *Sim) RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Schedu
 	return res, nil
 }
 
-// RunClosedLoop simulates sessions under s with the given page-abandonment
-// bound.
-//
-// Deprecated: use New(Config{Patience: patience}).RunClosedLoop.
-func RunClosedLoop(set *txn.Set, sessions []txn.Session, s sched.Scheduler, patience float64) (*ClosedLoopResult, error) {
-	return New(Config{Patience: patience}).RunClosedLoop(set, sessions, s)
-}
-
 // validateSessions checks that the sessions partition the transaction set.
 func validateSessions(set *txn.Set, sessions []txn.Session) error {
 	seen := make([]bool, set.Len())

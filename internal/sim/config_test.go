@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestServersValidatedBeforeDefaulting is the regression test for the bug
+// where Run validated cfg.Servers only after the zero value had been
+// defaulted to one, so a negative count silently ran on a single server.
+func TestServersValidatedBeforeDefaulting(t *testing.T) {
+	cfg := workload.Default(0.5, 1)
+	cfg.N = 10
+
+	for _, servers := range []int{-1, -3} {
+		if _, err := New(Config{Servers: servers}).Run(workload.MustGenerate(cfg), sched.NewFCFS()); err == nil {
+			t.Fatalf("Servers: %d accepted; want validation error", servers)
+		}
+	}
+
+	// The zero value still means one server.
+	one, err := New(Config{Servers: 1}).Run(workload.MustGenerate(cfg), sched.NewFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := New(Config{}).Run(workload.MustGenerate(cfg), sched.NewFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, zero) {
+		t.Fatalf("Servers: 0 should default to one server:\nzero %+v\none  %+v", zero, one)
+	}
+}

@@ -13,16 +13,19 @@
 //
 // The same Sim also drives closed-loop session workloads
 // (Sim.RunClosedLoop), so every run mode shares one validated
-// configuration. The former free functions Run, MustRun and RunClosedLoop
-// remain as thin deprecated wrappers.
+// configuration.
 //
-// Two optional layers extend the paper's fault-free model (see
-// docs/ROBUSTNESS.md): a deterministic fault injector (Config.Faults)
-// contributes abort/restart, backend stall/crash and flash-crowd events, and
-// an admission controller (Config.Admit) may shed arrivals before they
-// reach the scheduler. Both are driven purely by simulated time and seeded
-// draws, so a fixed seed replays bit-identically; with neither configured
-// the event loop is byte-for-byte the paper's original model.
+// Optional layers extend the paper's fault-free model: a deterministic
+// fault injector (Config.Faults) contributes abort/restart, backend
+// stall/crash and flash-crowd events, and an admission controller
+// (Config.Admit) may shed arrivals before they reach the scheduler (see
+// docs/ROBUSTNESS.md). A workload whose transactions carry read/write sets
+// (docs/CONTENTION.md) automatically enables commit-time validation:
+// aborts become contention-driven — a transaction whose reads were
+// overwritten while it ran is rewound and re-executed — replacing the
+// injector's random abort draws. All layers are driven purely by simulated
+// time and seeded draws, so a fixed seed replays bit-identically; with none
+// configured the event loop is byte-for-byte the paper's original model.
 package sim
 
 import (
@@ -31,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/admit"
+	"repro/internal/contention"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -83,11 +87,6 @@ type Config struct {
 	// bound). Only RunClosedLoop consults it.
 	Patience float64
 }
-
-// Options is the former name of Config.
-//
-// Deprecated: use Config with New.
-type Options = Config
 
 // servers validates and defaults the server count. The validation runs on
 // the raw configured value, before defaulting, so Servers: -1 is rejected on
@@ -183,6 +182,15 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		// delivery to the sinks is batched.
 		rec = fault.NewRecorder(sched.EventSink(s, cfg.Sink), cfg.Metrics)
 	}
+	// A workload with read/write sets switches on the contention model:
+	// commit-time validation with re-execution replaces the injector's
+	// random abort draws (docs/CONTENTION.md). NewValidator returns nil for
+	// plain workloads, keeping them on the exact pre-contention path.
+	val := contention.NewValidator(set)
+	var crec *contention.Recorder
+	if val != nil {
+		crec = contention.NewRecorder(sched.EventSink(s, cfg.Sink), cfg.Metrics)
+	}
 
 	// Arrival order: by time, ties by ID for determinism.
 	order := make([]*txn.Transaction, n)
@@ -204,6 +212,13 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		maxSteps = 8*n + 64
 		if inj != nil {
 			maxSteps = maxSteps*(1+cfg.Faults.MaxRestarts) + 16*len(cfg.Faults.Stalls)
+		}
+		if val != nil {
+			// Every validation failure re-executes a transaction from
+			// scratch; the structural bound is one failure per other
+			// transaction's commit inside the open window (quadratic only
+			// under total overlap).
+			maxSteps = 2*maxSteps + 2*n*n
 		}
 	}
 
@@ -328,6 +343,11 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 				}
 			}
 			t.Started = true
+			if val != nil {
+				// Open (or continue) the incarnation: the read snapshot is
+				// as old as the incarnation's first dispatch.
+				val.Begin(t)
+			}
 			running = append(running, t)
 		}
 
@@ -397,7 +417,19 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 				still = append(still, t)
 				continue
 			}
-			if inj != nil && inj.AbortsAttempt(t) {
+			if val != nil {
+				if !val.CommitCheck(t) {
+					// Contention-driven abort: the read snapshot was
+					// invalidated by a commit during the incarnation. Rewind
+					// to full length and re-queue immediately — the next
+					// dispatch opens a fresh incarnation.
+					backlog += t.Length - t.Remaining
+					t.Remaining = t.Length
+					crec.ValidateFail(now, t)
+					s.OnPreempt(now, t)
+					continue
+				}
+			} else if inj != nil && inj.AbortsAttempt(t) {
 				backlog += t.Length - t.Remaining
 				t.Remaining = t.Length
 				retryAt := inj.RecordAbort(now, t)
@@ -433,6 +465,11 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 					for _, t := range still {
 						backlog += t.Length - t.Remaining
 						t.Remaining = t.Length
+						if val != nil {
+							// The in-flight incarnation died with its
+							// snapshot; committed versions survive.
+							val.Reset(t)
+						}
 						inj.RecordCrashLoss(t)
 						rec.Abort(now, t, "crash", now)
 					}
@@ -462,6 +499,9 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		summary.Restarts = inj.Restarts()
 		summary.Stalls = inj.StallsEntered()
 	}
+	if val != nil {
+		summary.ValidateFails = val.Fails()
+	}
 	// The run is over and nothing retains the instrumentation wrapper (the
 	// caller owns the sink and the registry, not the wrapper), so recycle it
 	// for the next run. Error paths above skip this and simply let the
@@ -478,18 +518,4 @@ func (e *Sim) MustRun(set *txn.Set, s sched.Scheduler) *metrics.Summary {
 		panic(err)
 	}
 	return summary
-}
-
-// Run simulates set under s with the given configuration.
-//
-// Deprecated: use New(cfg).Run(set, s).
-func Run(set *txn.Set, s sched.Scheduler, opts Options) (*metrics.Summary, error) {
-	return New(opts).Run(set, s)
-}
-
-// MustRun is Run but panics on error.
-//
-// Deprecated: use New(cfg).MustRun(set, s).
-func MustRun(set *txn.Set, s sched.Scheduler, opts Options) *metrics.Summary {
-	return New(opts).MustRun(set, s)
 }

@@ -5,13 +5,13 @@ import (
 	"testing"
 )
 
-// cloneFixture builds a small workflow workload with non-trivial Deps and
-// Dependents structure, the shapes Clone must deep-copy.
+// cloneFixture builds a small workflow workload with non-trivial Deps,
+// Dependents and read/write-set structure, the shapes Clone must deep-copy.
 func cloneFixture(t *testing.T) *Set {
 	t.Helper()
 	txns := []*Transaction{
-		{ID: 0, Arrival: 0, Deadline: 10, Length: 2, Weight: 1},
-		{ID: 1, Arrival: 1, Deadline: 12, Length: 3, Weight: 2, Deps: []ID{0}},
+		{ID: 0, Arrival: 0, Deadline: 10, Length: 2, Weight: 1, Reads: []Key{1, 3}, Writes: []Key{2}},
+		{ID: 1, Arrival: 1, Deadline: 12, Length: 3, Weight: 2, Deps: []ID{0}, Reads: []Key{2}},
 		{ID: 2, Arrival: 2, Deadline: 15, Length: 1, Weight: 1, Deps: []ID{0, 1}},
 		{ID: 3, Arrival: 3, Deadline: 20, Length: 4, Weight: 5},
 	}
@@ -47,6 +47,8 @@ func TestCloneMutationIsolation(t *testing.T) {
 
 	clone.Txns[0].Remaining = 99
 	clone.Txns[0].FinishTime = 42
+	clone.Txns[0].Reads[0] = 7
+	clone.Txns[0].Writes = append(clone.Txns[0].Writes, 9)
 	clone.Txns[1].Deps[0] = 3
 	clone.Txns[2].Deps = append(clone.Txns[2].Deps, 3)
 	clone.Dependents[0][0] = 3
@@ -75,6 +77,12 @@ func TestCloneSharesNoSlices(t *testing.T) {
 		if len(src.Deps) > 0 && &src.Deps[0] == &clone.Txns[i].Deps[0] {
 			t.Fatalf("txn %d: clone shares the Deps backing array", i)
 		}
+		if len(src.Reads) > 0 && &src.Reads[0] == &clone.Txns[i].Reads[0] {
+			t.Fatalf("txn %d: clone shares the Reads backing array", i)
+		}
+		if len(src.Writes) > 0 && &src.Writes[0] == &clone.Txns[i].Writes[0] {
+			t.Fatalf("txn %d: clone shares the Writes backing array", i)
+		}
 		if src == clone.Txns[i] {
 			t.Fatalf("txn %d: clone shares the Transaction pointer", i)
 		}
@@ -95,6 +103,10 @@ func TestClonePreservesNilness(t *testing.T) {
 		if (src.Deps == nil) != (clone.Txns[i].Deps == nil) {
 			t.Fatalf("txn %d: Deps nil-ness changed: src nil=%v clone nil=%v",
 				i, src.Deps == nil, clone.Txns[i].Deps == nil)
+		}
+		if (src.Reads == nil) != (clone.Txns[i].Reads == nil) ||
+			(src.Writes == nil) != (clone.Txns[i].Writes == nil) {
+			t.Fatalf("txn %d: key-set nil-ness changed (plain workloads must stay keyless after Clone)", i)
 		}
 	}
 }

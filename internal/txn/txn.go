@@ -16,6 +16,12 @@ import (
 // instead of maps for per-transaction bookkeeping.
 type ID int
 
+// Key identifies one row of the abstract keyspace a contended workload
+// draws its read/write sets from (docs/CONTENTION.md). Keys are dense
+// indices in [0, Keyspace.Keys), which lets the validation engine keep a
+// flat version array instead of a map.
+type Key int
+
 // Transaction models one web transaction T_i (Definition 1 of the paper).
 // The scheduling-time fields (Remaining, Started, Finished, FinishTime) are
 // mutated by the simulator; everything else is immutable workload data.
@@ -35,6 +41,16 @@ type Transaction struct {
 	// Deps is l_i, the direct dependency list: IDs of transactions whose
 	// output this transaction consumes. Empty means independent.
 	Deps []ID
+	// Reads and Writes are the transaction's data-access sets over the
+	// workload's keyspace: the rows it reads and the rows it writes. Both
+	// are sorted ascending and duplicate-free (Validate enforces this so
+	// conflict tests can merge-scan in O(len)). Nil on the paper's
+	// contention-free workloads; populated by contention.Keyspace.Assign.
+	// A transaction may read keys it also writes (read-your-own-writes is
+	// not a conflict with itself).
+	Reads []Key
+	// Writes is the write set; see Reads.
+	Writes []Key
 
 	// Remaining is the processing time still needed; the simulator
 	// decrements it as the transaction runs (preemptive-resume).
@@ -159,6 +175,12 @@ func (s *Set) Validate() error {
 			}
 			seen[d] = true
 		}
+		if err := validKeySet(t.ID, "read", t.Reads); err != nil {
+			return err
+		}
+		if err := validKeySet(t.ID, "write", t.Writes); err != nil {
+			return err
+		}
 	}
 	s.Dependents = make([][]ID, n)
 	for _, t := range s.Txns {
@@ -168,6 +190,21 @@ func (s *Set) Validate() error {
 	}
 	if _, err := s.TopologicalOrder(); err != nil {
 		return err
+	}
+	return nil
+}
+
+// validKeySet checks one access set: non-negative keys, sorted ascending,
+// no duplicates. The sorted/dedup invariant is what lets conflict tests
+// merge-scan two sets in O(len) without allocating.
+func validKeySet(id ID, kind string, keys []Key) error {
+	for i, k := range keys {
+		if k < 0 {
+			return fmt.Errorf("txn: transaction %d has negative %s key %d", id, kind, k)
+		}
+		if i > 0 && keys[i-1] >= k {
+			return fmt.Errorf("txn: transaction %d %s set is not sorted and duplicate-free at index %d", id, kind, i)
+		}
 	}
 	return nil
 }
@@ -204,6 +241,14 @@ func (s *Set) Clone() *Set {
 		if t.Deps != nil {
 			ct.Deps = make([]ID, len(t.Deps))
 			copy(ct.Deps, t.Deps)
+		}
+		if t.Reads != nil {
+			ct.Reads = make([]Key, len(t.Reads))
+			copy(ct.Reads, t.Reads)
+		}
+		if t.Writes != nil {
+			ct.Writes = make([]Key, len(t.Writes))
+			copy(ct.Writes, t.Writes)
 		}
 		c.Txns[i] = &ct
 	}

@@ -27,8 +27,8 @@ if [ "${1:-}" = "short" ]; then
     # /api/*) against a live replay — including the fault-injection hammer,
     # which shares the admission controller between the submit gate and the
     # replay goroutine. Both hammers are small and fast.
-    echo "== go test -race (endpoint + fault + pooled-event hammers)"
-    go test -race -run Hammer ./internal/server ./internal/obs
+    echo "== go test -race (endpoint + fault + pooled-event + contention hammers)"
+    go test -race -run Hammer ./internal/server ./internal/obs ./internal/contention
 else
     echo "== go test"
     go test ./...
@@ -62,5 +62,9 @@ cat BENCH_parallel.json
 echo "== cluster failover benchmark (failover + determinism gate)"
 go run ./cmd/asetsbench -cluster-bench BENCH_cluster.json -n 300
 cat BENCH_cluster.json
+
+echo "== contention benchmark (conflict-aware wins + determinism gate)"
+go run ./cmd/asetsbench -contention-bench BENCH_contention.json -n 400 -seeds 3
+cat BENCH_contention.json
 
 echo "all checks passed"
