@@ -17,6 +17,7 @@
 //	asetsbench -parallel-bench BENCH_parallel.json -n 300 -seeds 2   # pool speedup + bit-exactness
 //	asetsbench -cluster-bench BENCH_cluster.json -n 300   # failover vs no-failover strawman
 //	asetsbench -contention-bench BENCH_contention.json -n 300   # conflict-aware vs blind dispatch
+//	asetsbench -slo-bench BENCH_slo.json -n 300   # alert lead time on the overload sweep
 package main
 
 import (
@@ -53,9 +54,14 @@ func main() {
 		parBench     = flag.String("parallel-bench", "", "benchmark the parallel runner against the serial path, write JSON to this path, and exit")
 		clusterBench = flag.String("cluster-bench", "", "benchmark cluster failover vs a no-failover strawman under an instance crash, write JSON to this path, and exit")
 		contBench    = flag.String("contention-bench", "", "benchmark conflict-aware dispatch vs blind ASETS* on Zipf-contended workloads, write JSON to this path, and exit")
+		sloBench     = flag.String("slo-bench", "", "benchmark SLO alert lead time on the Table-I overload sweep, write JSON to this path, and exit")
 	)
 	seed := cliflag.AddSeed(flag.CommandLine)
+	sloFlags := cliflag.AddSLO(flag.CommandLine)
 	flag.Parse()
+	if err := sloFlags.Load(); err != nil {
+		cliflag.Fatal("asetsbench", err)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -134,6 +140,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asetsbench: cluster-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sloBench != "" {
+		f, err := os.Create(*sloBench)
+		if err == nil {
+			err = runSLOBench(f, *n, min(*seeds, 3), sloFlags.Config())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asetsbench: slo-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

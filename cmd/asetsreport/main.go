@@ -1,0 +1,100 @@
+// Command asetsreport renders a post-run markdown report from a decision-
+// event stream captured with asetssim -events (or any JSONL sink of the same
+// format): per-class percentile tables, the SLO alert timeline, error-budget
+// spend and the worst-offender transactions.
+//
+// Usage:
+//
+//	asetssim -policy edf -util 1.2 -events run.jsonl -save wl.json
+//	asetsreport -events run.jsonl                     # aggregate report
+//	asetsreport -events run.jsonl -workload wl.json   # per-class tables
+//	asetsreport -events run.jsonl -workload wl.json -slo default
+//
+// -workload attaches the replayed workload so transactions can be grouped
+// into weight classes; -slo prices the error budget against the same spec
+// grammar the simulators take (docs/OBSERVABILITY.md, "SLOs and alerting").
+// The report is a pure function of its inputs: the same stream renders
+// byte-identically on every invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliflag"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/slo"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		events    = flag.String("events", "", "decision-event JSONL file (required)")
+		wlPath    = flag.String("workload", "", "workload JSON (asetssim -save) for per-class grouping")
+		specText  = flag.String("slo", "", `SLO spec for error-budget pricing: "default" or e.g. "light:miss=0.05"`)
+		offenders = flag.Int("offenders", 10, "rows in the worst-offender table")
+		title     = flag.String("title", "", "report heading (default derived from the events path)")
+		out       = flag.String("o", "", "write the report here instead of stdout")
+	)
+	flag.Parse()
+	if *events == "" {
+		cliflag.Fatal("asetsreport", fmt.Errorf("-events is required"))
+	}
+
+	var spec *slo.Spec
+	if *specText != "" {
+		s, err := slo.ParseSpec(*specText)
+		if err != nil {
+			cliflag.Fatal("asetsreport", err)
+		}
+		spec = &s
+	}
+
+	f, err := os.Open(*events)
+	if err != nil {
+		fail(err)
+	}
+	evs, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var set *txn.Set
+	if *wlPath != "" {
+		wf, err := os.Open(*wlPath)
+		if err != nil {
+			fail(err)
+		}
+		set, _, err = workload.ReadJSON(wf)
+		wf.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	heading := *title
+	if heading == "" {
+		heading = "Run report: " + *events
+	}
+	doc := report.GenerateRun(evs, report.RunOptions{
+		Set: set, Spec: spec, Offenders: *offenders, Title: heading,
+	}).Render()
+
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "asetsreport: %v\n", err)
+	os.Exit(1)
+}

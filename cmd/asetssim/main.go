@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -105,8 +106,10 @@ func main() {
 		users    = flag.Int("users", 0, "closed-loop mode: simulate this many interactive sessions instead of Table I arrivals")
 		patience = flag.Float64("patience", 0, "closed-loop page-abandonment bound (0 = off)")
 	)
+	report := flag.Bool("report", false, "print a post-run markdown report: per-class percentiles, alert timeline, error-budget spend, worst offenders")
 	rob := cliflag.AddRobustness(flag.CommandLine)
 	cont := cliflag.AddContention(flag.CommandLine)
+	sloFlags := cliflag.AddSLO(flag.CommandLine)
 	flag.Parse()
 
 	// Validate the robustness and contention flags before any work, so a
@@ -117,6 +120,9 @@ func main() {
 	if err := cont.Load(); err != nil {
 		cliflag.Fatal("asetssim", err)
 	}
+	if err := sloFlags.Load(); err != nil {
+		cliflag.Fatal("asetssim", err)
+	}
 
 	if *users > 0 {
 		if rob.Active() {
@@ -125,6 +131,10 @@ func main() {
 		}
 		if cont.Active() {
 			fmt.Fprintln(os.Stderr, "asetssim: -keys applies to open-loop runs; the closed-loop simulator (-users) does not support it")
+			os.Exit(2)
+		}
+		if sloFlags.Active() || *report {
+			fmt.Fprintln(os.Stderr, "asetssim: -slo/-report apply to open-loop runs; the closed-loop simulator (-users) does not support them")
 			os.Exit(2)
 		}
 		runClosedLoop(*users, *util, *seed, *policy, *patience)
@@ -155,7 +165,7 @@ func main() {
 	}
 
 	wantTrace := *doTrace || *analyze || *gantt
-	outs := obsOutputs{eventsPath: *events, spansPath: *spans, timelinePath: *timeline, validate: *invar}
+	outs := obsOutputs{eventsPath: *events, spansPath: *spans, timelinePath: *timeline, validate: *invar, report: *report, slo: sloFlags}
 
 	if *compare {
 		if outs.eventsPath != "" || outs.spansPath != "" || outs.timelinePath != "" {
@@ -240,15 +250,21 @@ func buildWorkload(load string, n int, util, kmax, alpha float64, seed uint64,
 
 // obsOutputs names the optional observability exports and checks of a run.
 type obsOutputs struct {
-	eventsPath   string // JSONL decision-event stream
-	spansPath    string // JSONL per-transaction causal spans
-	timelinePath string // Chrome trace-event timeline (implies tracing)
-	validate     bool   // run obs.Validate over the collected event stream
+	eventsPath   string       // JSONL decision-event stream
+	spansPath    string       // JSONL per-transaction causal spans
+	timelinePath string       // Chrome trace-event timeline (implies tracing)
+	validate     bool         // run obs.Validate over the collected event stream
+	report       bool         // render the post-run markdown report
+	slo          *cliflag.SLO // SLO engine flags (nil-safe: inactive when unset)
 }
 
 func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gantt bool, outs obsOutputs, rob *cliflag.Robustness) {
 	var rec *trace.Recorder
 	cfg := sim.Config{Servers: servers, Faults: rob.Plan(), Admit: rob.Controller()}
+	if outs.slo != nil {
+		// A fresh config per run: -compare must not share engine state.
+		cfg.SLO = outs.slo.Config()
+	}
 	if doTrace || outs.timelinePath != "" {
 		rec = &trace.Recorder{}
 		cfg.Recorder = rec
@@ -275,7 +291,7 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		jw = obs.NewJSONLWriter(f)
 		sinks = append(sinks, jw)
 	}
-	if outs.timelinePath != "" || outs.validate {
+	if outs.timelinePath != "" || outs.validate || outs.report {
 		col = &obs.Collector{}
 		sinks = append(sinks, col)
 	}
@@ -287,7 +303,8 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		cfg.Sink = obs.Tee(sinks...)
 	}
 
-	summary, err := sim.New(cfg).Run(set, s)
+	sm := sim.New(cfg)
+	summary, err := sm.Run(set, s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asetssim: %s: %v\n", s.Name(), err)
 		os.Exit(1)
@@ -341,6 +358,10 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 		fmt.Printf("  timeline: wrote %s (load in Perfetto / chrome://tracing)\n", outs.timelinePath)
 	}
 	printSummary(s.Name(), summary)
+	if st := sm.SLOState(); st != nil {
+		fmt.Printf("  slo: alerts fired=%d resolved=%d active=%d worstBurn=%.2f budgetRemaining=%.0f%%\n",
+			st.Fires, st.Resolves, st.ActiveAlerts, st.FastBurn, 100*st.BudgetRemaining)
+	}
 	if rob.Active() {
 		fmt.Printf("  faults: admitted=%d shed=%d aborts=%d restarts=%d stalls=%d\n",
 			summary.N, summary.Shed, summary.Aborts, summary.Restarts, summary.Stalls)
@@ -372,6 +393,16 @@ func runOne(set *txn.Set, s sched.Scheduler, servers int, doTrace, analyze, gant
 	}
 	if gantt {
 		fmt.Print(analysis.Gantt(set, rec, 100))
+	}
+	if outs.report {
+		opts := report.RunOptions{Set: set, Title: "Run report: " + s.Name()}
+		if outs.slo != nil {
+			if sc := outs.slo.Config(); sc != nil {
+				opts.Spec = &sc.Spec
+			}
+		}
+		fmt.Println()
+		fmt.Print(report.GenerateRun(col.Events(), opts).Render())
 	}
 }
 

@@ -8,6 +8,7 @@
 //	asetsweb -addr :8080 -policy asets -util 0.9 -scale 5ms
 //	asetsweb -faults plan.json -admit slack:2   # fault injection + shedding
 //	asetsweb -instances 4 -route weighted -wf-len 1   # fault-tolerant fleet
+//	asetsweb -slo default -slo-window 50   # SLO burn-rate alerts on SSE + /metrics
 //	asetsweb -pprof            # additionally serve /debug/pprof/
 //	# then open http://localhost:8080/
 //
@@ -21,6 +22,12 @@
 // format); -admit selects an admission controller (none, queue:N,
 // slack[:tol], missratio[:enter,exit]). Both are validated before the
 // server binds its port.
+//
+// -slo attaches the deterministic SLO alert engine (docs/OBSERVABILITY.md,
+// "SLOs and alerting"): alert_fire/alert_resolve events ride /events and the
+// SSE stream, per-class burn gauges land on /metrics, and — in fleet mode —
+// GET /api/fleet serves the aggregate rollup while /healthz degrades when
+// any instance burns its fast window.
 //
 // -instances N (N > 1) serves the fault-tolerant cluster tier instead of the
 // single backend: the workload is routed (-route) across N fault domains,
@@ -81,6 +88,7 @@ func main() {
 	rob := cliflag.AddRobustness(flag.CommandLine)
 	cl := cliflag.AddCluster(flag.CommandLine)
 	cont := cliflag.AddContention(flag.CommandLine)
+	sloFlags := cliflag.AddSLO(flag.CommandLine)
 	flag.Parse()
 
 	// Structured logging shares field keys with the span/event exports, so a
@@ -118,6 +126,9 @@ func main() {
 	if err := cont.Load(); err != nil {
 		cliflag.Fatal("asetsweb", err)
 	}
+	if err := sloFlags.Load(); err != nil {
+		cliflag.Fatal("asetsweb", err)
+	}
 	if cont.Active() && *wfLen > 1 {
 		cliflag.Fatal("asetsweb", errors.New("contention: read/write sets apply to independent transactions; pass -wf-len 1 with -keys"))
 	}
@@ -153,6 +164,7 @@ func main() {
 				TimeScale: *scale,
 				Faults:    rob.Plan(),
 				Admit:     rob.Controller(),
+				SLO:       sloFlags.Config(),
 			}), nil
 		}
 		// Fleet mode: the -faults plan crashes fault domain 0; the survivors
@@ -174,6 +186,7 @@ func main() {
 			NewAdmit:     newAdmit,
 			Faults:       plans,
 			Retry:        cl.Retry(),
+			SLO:          sloFlags.Config(),
 		}, set, cluster.FleetOptions{TimeScale: *scale}), nil
 	}
 

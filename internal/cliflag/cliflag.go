@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/contention"
 	"repro/internal/fault"
+	"repro/internal/slo"
 )
 
 // Robustness bundles the fault-injection/admission flag pair of a run. The
@@ -190,6 +191,77 @@ func (c *Contention) Keyspace() *contention.Keyspace {
 
 // Active reports whether the data-contention model is configured.
 func (c *Contention) Active() bool { return c.Keys != 0 }
+
+// SLO bundles the service-level-objective flags shared by asetssim, asetsweb
+// and asetsbench: the per-class objective spec, the tumbling-window length
+// and the burn-rate window pair (docs/OBSERVABILITY.md, "SLOs and alerting").
+// An empty -slo leaves the engine off — the run keeps the classic
+// no-evaluation path.
+type SLO struct {
+	// SpecText is the -slo value: "" (off), "default", or a spec like
+	// "light:miss=0.05;heavy:p95=8,queue=32" (slo.ParseSpec grammar).
+	SpecText string
+	// Window is the -slo-window value: the tumbling-window length in
+	// simulated time units.
+	Window float64
+	// BurnFast and BurnSlow are the -slo-burn-fast/-slo-burn-slow values:
+	// how many recent windows the fast and slow burn-rate lookbacks span.
+	BurnFast int
+	BurnSlow int
+
+	spec *slo.Spec
+}
+
+// AddSLO registers the SLO flag set on fs and returns the destination. Call
+// Load after fs.Parse.
+func AddSLO(fs *flag.FlagSet) *SLO {
+	s := &SLO{}
+	fs.StringVar(&s.SpecText, "slo", "", `per-class SLOs: "default" or e.g. "light:miss=0.05;heavy:p95=8" (docs/OBSERVABILITY.md); empty = off`)
+	fs.Float64Var(&s.Window, "slo-window", 100, "SLO tumbling-window length in simulated time units")
+	fs.IntVar(&s.BurnFast, "slo-burn-fast", 2, "windows in the fast burn-rate lookback")
+	fs.IntVar(&s.BurnSlow, "slo-burn-slow", 12, "windows in the slow burn-rate lookback (must exceed the fast lookback)")
+	return s
+}
+
+// Load validates the SLO flags — parsing the spec and checking the window
+// geometry — so a typo is a startup error rather than a mid-run failure.
+func (s *SLO) Load() error {
+	if s.SpecText == "" {
+		return nil
+	}
+	spec, err := slo.ParseSpec(s.SpecText)
+	if err != nil {
+		return err
+	}
+	s.spec = &spec
+	return s.config().Validate()
+}
+
+// config assembles the engine configuration; only valid after Load.
+func (s *SLO) config() *slo.Config {
+	return &slo.Config{
+		Spec:        *s.spec,
+		Window:      s.Window,
+		FastWindows: s.BurnFast,
+		SlowWindows: s.BurnSlow,
+	}
+}
+
+// Config returns the engine configuration assembled from the flags, or nil
+// when -slo was not given. The caller owns the copy; engines themselves are
+// built per run.
+func (s *SLO) Config() *slo.Config {
+	if s.spec == nil {
+		if s.SpecText != "" {
+			panic("cliflag: SLO.Config before Load")
+		}
+		return nil
+	}
+	return s.config()
+}
+
+// Active reports whether SLO evaluation is configured.
+func (s *SLO) Active() bool { return s.SpecText != "" }
 
 // AddSeed registers the shared -seed flag (base workload seed) on fs.
 func AddSeed(fs *flag.FlagSet) *uint64 {

@@ -243,3 +243,129 @@ func TestFatalExitsTwo(t *testing.T) {
 		t.Fatalf("Fatal output %q should name the program", buf.String())
 	}
 }
+
+// parseSLO registers the SLO flags on a fresh FlagSet, parses args and runs
+// Load — the exact startup sequence of the CLIs.
+func parseSLO(t *testing.T, args ...string) (*SLO, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	s := AddSLO(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return s, s.Load()
+}
+
+// TestSLOErrors is the table of bad SLO flag values every CLI must turn into
+// an exit-2 usage error via Fatal.
+func TestSLOErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "unknown class",
+			args: []string{"-slo", "bogus:miss=0.1"},
+			want: "bogus",
+		},
+		{
+			name: "unknown objective key",
+			args: []string{"-slo", "light:latency=1"},
+			want: "latency",
+		},
+		{
+			name: "miss ratio above one",
+			args: []string{"-slo", "light:miss=1.5"},
+			want: "miss",
+		},
+		{
+			name: "negative window",
+			args: []string{"-slo", "default", "-slo-window", "-10"},
+			want: "window",
+		},
+		{
+			name: "fast lookback not below slow",
+			args: []string{"-slo", "default", "-slo-burn-fast", "12", "-slo-burn-slow", "12"},
+			want: "fast",
+		},
+		{
+			name: "empty clause",
+			args: []string{"-slo", "light:miss=0.1;;heavy:p95=4"},
+			want: "empty",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseSLO(t, tc.args...)
+			if err == nil {
+				t.Fatalf("args accepted; want error containing %q", tc.want)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSLODefaultsInactive(t *testing.T) {
+	s, err := parseSLO(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() {
+		t.Fatal("defaults should be inactive")
+	}
+	if s.Config() != nil {
+		t.Fatal("no -slo should mean a nil config")
+	}
+}
+
+func TestSLOConfigAssembly(t *testing.T) {
+	s, err := parseSLO(t, "-slo", "light:miss=0.02;heavy:p95=8,queue=32",
+		"-slo-window", "25", "-slo-burn-fast", "3", "-slo-burn-slow", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Active() {
+		t.Fatal("-slo given but inactive")
+	}
+	cfg := s.Config()
+	if cfg == nil {
+		t.Fatal("nil config after Load")
+	}
+	if cfg.Window != 25 || cfg.FastWindows != 3 || cfg.SlowWindows != 9 {
+		t.Fatalf("window geometry not carried: %+v", cfg)
+	}
+	light := cfg.Spec.Classes[0]
+	if light.MissRatio != 0.02 {
+		t.Fatalf("light miss ratio = %v, want 0.02", light.MissRatio)
+	}
+	if cfg.Spec.Classes[2].TardinessP95 != 8 || cfg.Spec.Classes[2].QueueBound != 32 {
+		t.Fatalf("heavy clause not carried: %+v", cfg.Spec.Classes[2])
+	}
+	// Each call hands out a fresh copy: engines must not share Config state.
+	if s.Config() == cfg {
+		t.Fatal("Config must return a fresh copy per call")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLODefaultSpecKeyword(t *testing.T) {
+	s, err := parseSLO(t, "-slo", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg == nil {
+		t.Fatal("nil config for -slo default")
+	}
+	for i, c := range cfg.Spec.Classes {
+		if c.MissRatio != 0.05 {
+			t.Fatalf("class %d miss ratio = %v, want the 0.05 default", i, c.MissRatio)
+		}
+	}
+}

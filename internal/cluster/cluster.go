@@ -10,7 +10,9 @@ import (
 	"repro/internal/contention"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/slo"
 	"repro/internal/txn"
 )
 
@@ -27,6 +29,9 @@ type instance struct {
 	sched sched.Scheduler
 	ctrl  admit.Controller
 	inj   *fault.Injector
+	// slo is the instance's SLO alert engine (nil unless Config.SLO is set):
+	// each fault domain is its own alerting domain.
+	slo *slo.Engine
 	// val is the instance's commit-time validator — each fault domain is an
 	// independent database, so versions never flow across instances; nil on
 	// keyless workloads (docs/CONTENTION.md).
@@ -112,6 +117,9 @@ type Result struct {
 	Recoveries int `json:"recoveries"`
 	// Instances holds the per-instance breakdown, in index order.
 	Instances []InstanceResult `json:"instances"`
+	// SLO holds each instance's final SLO engine state, in index order; nil
+	// when Config.SLO was unset.
+	SLO []slo.State `json:"slo,omitempty"`
 }
 
 // EffectiveMissRatio is the SLA measure the failover gate is judged on: a
@@ -194,6 +202,14 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 			inst.inj = fault.NewInjector(cfg.Faults[i], n)
 		}
 		inst.val = contention.NewValidator(set)
+		if cfg.SLO != nil {
+			sc := *cfg.SLO
+			sc.Instance = inst.name
+			inst.slo = slo.NewEngine(sc, cfg.Metrics)
+			// Alerts funnel through the recorder's sink unbatched on the
+			// engine goroutine, like every other routed decision event.
+			inst.slo.Bind(rec.sink)
+		}
 		insts[i] = inst
 	}
 
@@ -305,6 +321,9 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 		inst.queued++
 		inst.backlog += t.Remaining
 		inst.delivered = true
+		if inst.slo != nil {
+			inst.slo.Arrive(obs.WeightClassIndex(t.Weight))
+		}
 		inst.sched.OnArrival(now, t)
 	}
 	// admitAt consults instance j's controller for a fresh arrival; it
@@ -454,6 +473,16 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 		}
 		now = event
 
+		// Window boundaries this advance crossed: every instance's SLO
+		// engine closes its tumbling windows now, in index order, so alert
+		// transitions (stamped with the boundary time) enter the routed
+		// stream before any event of the new instant.
+		if cfg.SLO != nil {
+			for _, inst := range insts {
+				inst.slo.Advance(now)
+			}
+		}
+
 		// Completions (or keyed aborts) per instance, in index order.
 		for _, inst := range insts {
 			t := inst.running
@@ -489,13 +518,16 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 			inst.halfOpen = false // a completion confirms recovery
 			owner[t.ID] = -1
 			inst.sched.OnCompletion(now, t)
-			tardy := t.Tardiness() > 0
-			if tardy {
+			tard := t.Tardiness()
+			if tard > 0 {
 				inst.misses++
 			}
 			rec.Completion(now, t)
+			if inst.slo != nil {
+				inst.slo.Complete(obs.WeightClassIndex(t.Weight), tard, now-t.Arrival)
+			}
 			if inst.ctrl != nil {
-				inst.ctrl.Complete(t, tardy)
+				inst.ctrl.Complete(t, tard > 0)
 				inst.degraded = inst.ctrl.Degraded()
 			}
 		}
@@ -540,6 +572,11 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 					inst.crashLost++
 					inst.inj.RecordCrashLoss(t)
 					rec.Abort(now, t, "crash", now)
+					if inst.slo != nil {
+						// The crash removed the transaction from this fault
+						// domain; a failover re-arrives it on the survivor.
+						inst.slo.Drop(obs.WeightClassIndex(t.Weight))
+					}
 					t.Remaining = t.Length // new incarnation, arrival preserved
 					if inst.val != nil {
 						// The in-flight incarnation dies with the process;
@@ -681,6 +718,14 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 		}
 	}
 
+	// Close out the SLO engines: final gauge publication only — the open
+	// partial window is never evaluated (docs/OBSERVABILITY.md).
+	if cfg.SLO != nil {
+		for _, inst := range insts {
+			inst.slo.Finish()
+		}
+	}
+
 	var busy float64
 	for _, inst := range insts {
 		busy += inst.busy
@@ -709,6 +754,9 @@ func (e *Sim) Run(set *txn.Set) (*Result, error) {
 			Routed: inst.routed, FailoversIn: inst.failoversIn,
 			CrashLost: inst.crashLost, Completed: inst.completed,
 			Misses: inst.misses, Busy: inst.busy,
+		}
+		if inst.slo != nil {
+			res.SLO = append(res.SLO, inst.slo.State())
 		}
 	}
 	publish(true)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/slo"
 )
 
 // Retry is the failover budget of one cluster run: how many times a
@@ -129,6 +130,14 @@ type Config struct {
 	// Metrics, when non-nil, accumulates the run's counters (the
 	// asets_sched_* and asets_fault_* families plus asets_cluster_*).
 	Metrics *obs.Registry
+	// SLO, when non-nil, attaches one SLO alert engine per instance (each
+	// fault domain is its own alerting domain, labeled with the instance
+	// index). Alert fire/resolve transitions ride the routed decision-event
+	// stream in time order; per-instance gauges land in Metrics; the
+	// aggregate fleet rollup is served by StatusBoard.Health. The Instance
+	// field of the supplied config is ignored — the engine overrides it per
+	// fault domain.
+	SLO *slo.Config
 	// Status, when non-nil, receives a live snapshot of the fleet at every
 	// event — the seam the live server reads /healthz detail from. Nil for
 	// pure simulation runs (zero overhead).
@@ -172,6 +181,11 @@ func (c *Config) validate() (Retry, error) {
 	}
 	if c.RecoveryCooldown < 0 {
 		return Retry{}, fmt.Errorf("cluster: recovery cooldown %v must be non-negative", c.RecoveryCooldown)
+	}
+	if c.SLO != nil {
+		if err := c.SLO.Validate(); err != nil {
+			return Retry{}, fmt.Errorf("cluster: %w", err)
+		}
 	}
 	return retry, nil
 }

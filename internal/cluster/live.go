@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/slo"
 	"repro/internal/txn"
 )
 
@@ -63,6 +64,36 @@ func (fs FleetStatus) Healthy() int {
 	return h
 }
 
+// InstanceHealth is one instance's slice of the fleet SLO rollup: the
+// circuit-breaker view plus the fault domain's SLO engine state.
+type InstanceHealth struct {
+	Index int       `json:"index"`
+	State string    `json:"state"` // "healthy", "half-open", "stalled" or "ejected"
+	SLO   slo.State `json:"slo"`
+}
+
+// FleetHealth is the aggregate SLO rollup of a cluster run — the payload
+// behind the live server's GET /api/fleet, and the signal its aggregate
+// /healthz degrades on. Enabled is false (and Instances nil) when the run
+// has no SLO configuration.
+type FleetHealth struct {
+	Now     float64 `json:"now"`
+	Done    bool    `json:"done"`
+	Enabled bool    `json:"enabled"`
+	// Degraded reports whether any instance's fast-window burn ratio is at
+	// or above its threshold (slo.State.Burning) — alert hysteresis does not
+	// delay it, so the probe degrades as soon as a fast window burns.
+	Degraded bool `json:"degraded"`
+	// ActiveAlerts, Fires and Resolves aggregate rule transitions fleet-wide.
+	ActiveAlerts int `json:"active_alerts"`
+	Fires        int `json:"fires"`
+	Resolves     int `json:"resolves"`
+	// WorstBurn is the highest fast-window burn ratio across the fleet.
+	WorstBurn float64 `json:"worst_burn"`
+	// Instances holds the per-instance detail, in index order.
+	Instances []InstanceHealth `json:"instances,omitempty"`
+}
+
 // fleetTotals carries the engine's run-wide counters into a publish.
 type fleetTotals struct {
 	routes, failovers, lost, ejections, recoveries, done, shed int
@@ -75,6 +106,7 @@ type fleetTotals struct {
 type StatusBoard struct {
 	mu sync.Mutex
 	fs FleetStatus // guarded by mu
+	fh FleetHealth // guarded by mu
 }
 
 // Snapshot returns a copy of the latest published fleet state.
@@ -84,6 +116,17 @@ func (b *StatusBoard) Snapshot() FleetStatus {
 	fs := b.fs
 	fs.Instances = append([]InstanceStatus(nil), b.fs.Instances...)
 	return fs
+}
+
+// Health returns a copy of the latest published fleet SLO rollup. Each
+// publish replaces the per-instance slo.State values wholesale, so the copy
+// never aliases state a later publish mutates.
+func (b *StatusBoard) Health() FleetHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fh := b.fh
+	fh.Instances = append([]InstanceHealth(nil), b.fh.Instances...)
+	return fh
 }
 
 // publish replaces the board's snapshot from engine state. Called on the
@@ -127,6 +170,39 @@ func (b *StatusBoard) publish(now float64, finished bool, insts []*instance, tot
 			Routed: inst.routed, FailoversIn: inst.failoversIn,
 			CrashLost: inst.crashLost, Completed: inst.completed,
 			Misses: inst.misses, Degraded: inst.degraded,
+		}
+	}
+	if len(insts) == 0 || insts[0].slo == nil {
+		return
+	}
+	// SLO rollup: aggregate the per-instance engine states. Live runs only
+	// (Status is nil in pure simulation), so the snapshot allocations are
+	// wall-clock-paced, not simulation hot-path work.
+	b.fh.Now = now
+	b.fh.Done = finished
+	b.fh.Enabled = true
+	b.fh.Degraded = false
+	b.fh.ActiveAlerts = 0
+	b.fh.Fires = 0
+	b.fh.Resolves = 0
+	b.fh.WorstBurn = 0
+	if cap(b.fh.Instances) < len(insts) {
+		//lint:ignore hotpath-alloc one allocation per live run; reused across every publish after
+		b.fh.Instances = make([]InstanceHealth, len(insts))
+	}
+	b.fh.Instances = b.fh.Instances[:len(insts)]
+	for i, inst := range insts {
+		//lint:ignore hotpath-alloc live-run health snapshot, wall-clock paced
+		st := inst.slo.State()
+		b.fh.Instances[i] = InstanceHealth{Index: inst.idx, State: b.fs.Instances[i].State, SLO: st}
+		if st.Burning {
+			b.fh.Degraded = true
+		}
+		b.fh.ActiveAlerts += st.ActiveAlerts
+		b.fh.Fires += st.Fires
+		b.fh.Resolves += st.Resolves
+		if st.FastBurn > b.fh.WorstBurn {
+			b.fh.WorstBurn = st.FastBurn
 		}
 	}
 }
@@ -178,6 +254,10 @@ func NewFleet(cfg Config, set *txn.Set, opts FleetOptions) *Fleet {
 
 // Status returns the latest fleet snapshot; safe to call while Run runs.
 func (f *Fleet) Status() FleetStatus { return f.board.Snapshot() }
+
+// Health returns the latest fleet SLO rollup; safe to call while Run runs.
+// FleetHealth.Enabled is false when the run has no SLO configuration.
+func (f *Fleet) Health() FleetHealth { return f.board.Health() }
 
 // Done reports whether Run has finished.
 func (f *Fleet) Done() bool {

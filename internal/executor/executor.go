@@ -45,6 +45,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/slo"
 	"repro/internal/txn"
 )
 
@@ -84,6 +85,12 @@ type Options struct {
 	// controller calls are serialized under the executor's lock, so Probe
 	// may interrogate the same controller from other goroutines.
 	Admit admit.Controller
+	// SLO, when non-nil, attaches the deterministic SLO alert engine to the
+	// replay: burn-rate rules evaluate at tumbling-window boundaries of
+	// simulated time, alert fire/resolve transitions are injected into Sink
+	// in stream order, and the per-class gauges land in Metrics. A FakeClock
+	// replay emits a bit-identical alert stream (docs/OBSERVABILITY.md).
+	SLO *slo.Config
 }
 
 // Stats is a point-in-time snapshot of executor progress, safe to read
@@ -142,6 +149,7 @@ type Executor struct {
 	rec     *fault.Recorder
 	val     *contention.Validator
 	crec    *contention.Recorder
+	sloSink *slo.Sink
 	initErr error
 
 	mu    sync.Mutex
@@ -184,22 +192,36 @@ func New(s sched.Scheduler, set *txn.Set, opts Options) *Executor {
 		}
 	}
 	set.ResetAll()
+	// The SLO engine wraps the configured sink so it sees the event stream
+	// exactly as emitted and injects alert transitions in stream order;
+	// everything downstream of here (instrumentation, recorders) emits
+	// through the wrapper. Same composition as sim.Run, so a FakeClock
+	// replay carries the identical alert stream as the simulator.
+	sink := opts.Sink
+	if opts.SLO != nil && e.initErr == nil {
+		if err := opts.SLO.Validate(); err != nil {
+			e.initErr = err
+		} else {
+			e.sloSink = slo.NewSink(slo.NewEngine(*opts.SLO, opts.Metrics), set, sink)
+			sink = e.sloSink
+		}
+	}
 	// Decision-loop instrumentation: a no-op pass-through when neither a
 	// sink nor a registry is configured.
-	s = sched.Instrument(s, opts.Sink, opts.Metrics)
+	s = sched.Instrument(s, sink, opts.Metrics)
 	s.Init(set)
 	if e.inj != nil || e.ctrl != nil {
 		// Route recorder events through the instrumented scheduler's staged
 		// event entry so they stay in emission order with decision events
 		// while sink delivery is batched.
-		e.rec = fault.NewRecorder(sched.EventSink(s, opts.Sink), opts.Metrics)
+		e.rec = fault.NewRecorder(sched.EventSink(s, sink), opts.Metrics)
 	}
 	// A workload with read/write sets switches on commit-time validation:
 	// contention-driven aborts replace the injector's random draws
 	// (docs/CONTENTION.md). Nil for plain workloads.
 	e.val = contention.NewValidator(set)
 	if e.val != nil {
-		e.crec = contention.NewRecorder(sched.EventSink(s, opts.Sink), opts.Metrics)
+		e.crec = contention.NewRecorder(sched.EventSink(s, sink), opts.Metrics)
 	}
 	e.sched = s
 	e.stats = Stats{Running: -1}
@@ -393,6 +415,11 @@ func (e *Executor) Run(ctx context.Context) (int, error) {
 		// so it cannot race with in-flight emission.
 		if fl, ok := e.sched.(sched.ObsFlusher); ok {
 			fl.FlushObs()
+		}
+		if e.sloSink != nil {
+			// Publish the final (possibly partial-window) gauge snapshot; no
+			// alert decisions happen here, so the stream stays deterministic.
+			e.sloSink.Engine().Finish()
 		}
 		e.mu.Lock()
 		e.done = true

@@ -161,7 +161,7 @@ func Suite() []*Analyzer {
 	fc.Include = []string{
 		"internal/core", "internal/sched", "internal/sim",
 		"internal/txn", "internal/executor", "internal/cluster",
-		"internal/contention",
+		"internal/contention", "internal/slo",
 	}
 	gh := GoroutineHygiene()
 	gh.Exclude = []string{"cmd/", "examples/"}

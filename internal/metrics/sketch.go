@@ -148,6 +148,21 @@ func (s *Sketch) Merge(other *Sketch) error {
 	return nil
 }
 
+// Reset clears the sketch's counts, sum and maximum while keeping the bucket
+// array (and its covered index range) allocated, so a tumbling-window
+// observer can reuse one sketch per window without re-extending: after the
+// first few windows warm the array, the steady-state observe path never
+// allocates again.
+func (s *Sketch) Reset() {
+	s.zero = 0
+	s.n = 0
+	s.sum = 0
+	s.max = 0
+	for i := range s.buckets {
+		s.buckets[i] = 0
+	}
+}
+
 // N returns the number of observations.
 func (s *Sketch) N() int64 { return s.n }
 

@@ -24,6 +24,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -94,6 +95,14 @@ const (
 	// transaction predicted to conflict with busy work and stole a later
 	// non-conflicting one; Txn is the deferred transaction.
 	KindConflictDefer
+	// KindAlertFire — an SLO burn-rate alert rule started firing at a
+	// window boundary; Detail names the rule ("class/rule"), Deadline
+	// carries the fast-window burn ratio at fire time (internal/slo).
+	KindAlertFire
+	// KindAlertResolve — a firing SLO alert rule cleared after its
+	// hysteresis window; Detail names the rule, Deadline the fast-window
+	// burn ratio at resolve time.
+	KindAlertResolve
 )
 
 // String returns the stable wire name of the kind, used in JSONL output,
@@ -138,6 +147,10 @@ func (k Kind) String() string {
 		return "validate_fail"
 	case KindConflictDefer:
 		return "conflict_defer"
+	case KindAlertFire:
+		return "alert_fire"
+	case KindAlertResolve:
+		return "alert_resolve"
 	default:
 		panic(fmt.Sprintf("obs: unknown event kind %d", int(k)))
 	}
@@ -206,7 +219,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 
 // KindFromString is the inverse of Kind.String.
 func KindFromString(s string) (Kind, error) {
-	for k := KindArrival; k <= KindConflictDefer; k++ {
+	for k := KindArrival; k <= KindAlertResolve; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -503,3 +516,29 @@ func (j *JSONLWriter) Flush() error {
 
 // Err returns the first write or serialization error, if any.
 func (j *JSONLWriter) Err() error { return j.err }
+
+// ReadJSONL parses a JSONL event stream — the inverse of JSONLWriter, and
+// the entry point of the post-run report generator (cmd/asetsreport). Blank
+// lines are skipped; a malformed line fails with its 1-based line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var evs []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := ev.UnmarshalJSON(raw); err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return evs, nil
+}

@@ -226,3 +226,44 @@ func TestJSONLWriterStickyError(t *testing.T) {
 		t.Fatal("Err() lost the sticky error")
 	}
 }
+
+// TestReadJSONLRoundTrip: ReadJSONL is the exact inverse of JSONLWriter —
+// the contract the post-run report generator (cmd/asetsreport) relies on.
+func TestReadJSONLRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Time: 1, Kind: KindArrival, Txn: 3, Workflow: -1, Deadline: 9, Remaining: 2},
+		{Time: 4.5, Kind: KindCompletion, Txn: 3, Workflow: -1, Deadline: 9, Tardiness: 0.5},
+		{Time: 5, Kind: KindAlertFire, Txn: -1, Workflow: -1, Deadline: 3.2, Detail: "light/burn"},
+	}
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	for _, ev := range evs {
+		jw.Emit(ev)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A blank line must be tolerated (hand-edited captures).
+	buf.WriteString("\n")
+
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("read %d events, want %d", len(got), len(evs))
+	}
+	for i, ev := range evs {
+		ev.Seq = uint64(i) // the writer stamps sequence numbers
+		if got[i] != ev {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+func TestReadJSONLMalformedLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"seq\":0,\"t\":1,\"kind\":\"arrival\",\"txn\":0}\n{broken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v, want line 2", err)
+	}
+}

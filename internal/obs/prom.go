@@ -16,13 +16,27 @@ import (
 func WritePrometheus(w io.Writer, r *Registry) error {
 	snap := r.Snapshot()
 	var b strings.Builder
+	// Counters and gauges may carry a `{...}` label block inside the
+	// registered name (the asets_slo_* per-class series do); HELP/TYPE
+	// headers go on the base name, once per base — the snapshot is
+	// name-sorted, so labeled cells of one base are adjacent.
+	lastBase := ""
 	for _, c := range snap.Counters {
-		writeHeader(&b, c.Name, c.Help, "counter")
-		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+		base, labels := splitMetricName(c.Name)
+		if base != lastBase {
+			writeHeader(&b, base, c.Help, "counter")
+			lastBase = base
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, c.Value)
 	}
+	lastBase = ""
 	for _, g := range snap.Gauges {
-		writeHeader(&b, g.Name, g.Help, "gauge")
-		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+		base, labels := splitMetricName(g.Name)
+		if base != lastBase {
+			writeHeader(&b, base, g.Help, "gauge")
+			lastBase = base
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", base, labels, formatFloat(g.Value))
 	}
 	for _, h := range snap.Histograms {
 		writeHeader(&b, h.Name, h.Help, "histogram")
@@ -41,7 +55,7 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	// labels, and HELP/TYPE headers are emitted once per base metric name
 	// (the snapshot is name-sorted, so labeled cells of one base are
 	// adjacent).
-	lastBase := ""
+	lastBase = ""
 	for _, s := range snap.Sketches {
 		base, labels := splitMetricName(s.Name)
 		if base != lastBase {
@@ -56,6 +70,67 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// EscapeLabel renders a label value safely for the Prometheus text
+// exposition format: backslash, double quote and newline — the characters
+// that can terminate the quoted value or the sample line — are escaped per
+// the exposition-format rules, and any remaining control character is
+// replaced with '_' (no scrape pipeline round-trips raw control bytes).
+// Printable text, including '}' inside the quoted value, passes through
+// unchanged, so well-formed names keep their exact historical spelling.
+func EscapeLabel(v string) string {
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c < 0x20 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; {
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c < 0x20:
+			b.WriteByte('_')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// MetricName renders `base{k1="v1",k2="v2",...}` with exposition-format
+// label-value escaping — the constructor for registering labeled counters,
+// gauges and sketches whose values may come from outside the repo's own
+// constant tables.
+func MetricName(base string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: MetricName requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // splitMetricName separates a registered metric name into its base name and

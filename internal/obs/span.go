@@ -238,18 +238,33 @@ const (
 // window index is zero-padded so registry name sorting orders cells by time.
 // It is called only at cell-registration time (newCell); per-completion
 // lookups go through the interned cellKey index instead.
+//
+// Class and mode values are escaped for the Prometheus exposition format
+// (EscapeLabel): the mode name is interned from event Detail strings, which
+// a replayed JSONL stream controls, so a crafted `"` or newline must not be
+// able to splice extra labels or samples into /metrics output.
 func WindowMetric(kind string, window int, class, mode string) string {
-	return fmt.Sprintf("asets_window_%s{window=%q,class=%q,mode=%q}",
-		kind, fmt.Sprintf("%04d", window), class, mode)
+	return MetricName(fmt.Sprintf("asets_window_%s", kind),
+		"window", fmt.Sprintf("%04d", window), "class", class, "mode", mode)
 }
 
 // classNames are the SLA weight classes of the windowed exports, indexed by
 // weightClassIdx.
-var classNames = [3]string{"light", "medium", "heavy"}
+var classNames = [NumWeightClasses]string{"light", "medium", "heavy"}
+
+// NumWeightClasses is the number of SLA weight classes the windowed exports
+// (and the SLO engine built on them) are keyed by.
+const NumWeightClasses = 3
 
 // WeightClass buckets a transaction weight into the three SLA classes the
 // windowed exports are keyed by (paper weights are integers in [1, 10]).
 func WeightClass(w float64) string { return classNames[weightClassIdx(w)] }
+
+// WeightClassIndex is WeightClass as a dense index in [0, NumWeightClasses).
+func WeightClassIndex(w float64) int { return int(weightClassIdx(w)) }
+
+// ClassName returns the name of a dense weight-class index.
+func ClassName(i int) string { return classNames[i] }
 
 // weightClassIdx is WeightClass as a dense cell index.
 func weightClassIdx(w float64) int8 {
@@ -580,12 +595,14 @@ func (b *SpanBuilder) emitLocked(ev *Event) {
 			st.span.Restarts++
 		}
 	case KindDeadlineMiss, KindAging, KindDegradeEnter, KindDegradeExit,
-		KindRoute, KindEject, KindRecover, KindConflictDefer:
+		KindRoute, KindEject, KindRecover, KindConflictDefer,
+		KindAlertFire, KindAlertResolve:
 		// No segment transitions: misses ride the completion event's
 		// tardiness, aging precedes an ordinary dispatch, degradation is a
 		// controller-level state, route precedes the arrival that opens the
-		// span, eject/recover are instance-level breaker transitions, and a
-		// conflict-deferred transaction simply stays queued.
+		// span, eject/recover are instance-level breaker transitions, a
+		// conflict-deferred transaction simply stays queued, and SLO alerts
+		// are window-boundary rule transitions with no transaction subject.
 	default:
 		panic(fmt.Sprintf("obs: span builder: unknown event kind %d", int(ev.Kind)))
 	}

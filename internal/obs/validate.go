@@ -167,9 +167,10 @@ func Validate(events []Event) error {
 				return fail(i, ev, "conflict_defer after completion")
 			}
 		case KindAging, KindModeSwitch, KindStall, KindDegradeEnter,
-			KindDegradeExit, KindEject, KindRecover:
-			// Scheduler-, controller- or instance-level events carry no
-			// per-transaction lifecycle obligations.
+			KindDegradeExit, KindEject, KindRecover,
+			KindAlertFire, KindAlertResolve:
+			// Scheduler-, controller-, instance- or SLO-level events carry
+			// no per-transaction lifecycle obligations.
 		default:
 			return fail(i, ev, "unknown event kind")
 		}

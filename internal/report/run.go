@@ -1,0 +1,307 @@
+// Run reports: the post-run explainer. A decision-event stream (asetssim
+// -events JSONL, a collector snapshot, or the server's /events ring) is
+// folded into a markdown document — per-class percentile tables, the alert
+// timeline, error-budget spend and the worst-offender transactions — with no
+// access to simulator internals.
+//
+// Determinism: the report is a pure function of the event stream plus the
+// optional workload set and SLO spec. Byte-identical streams render
+// byte-identical reports — the property the golden tests pin, and what makes
+// the report a trustworthy artifact of the serial-vs-parallel equivalence
+// contract (docs/PARALLELISM.md).
+
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/slo"
+	"repro/internal/txn"
+)
+
+// RunOptions configures run-report generation.
+type RunOptions struct {
+	// Set, when non-nil, attaches the replayed workload so transactions are
+	// grouped into weight classes; without it every transaction lands in a
+	// single "all" class.
+	Set *txn.Set
+	// Spec, when non-nil, prices the error budget: each class's deadline
+	// misses are charged against its miss-ratio target.
+	Spec *slo.Spec
+	// Offenders bounds the worst-offender table; 0 selects 10.
+	Offenders int
+	// Title overrides the report heading; empty selects "Run report".
+	Title string
+}
+
+// classStats accumulates one class's completions.
+type classStats struct {
+	name      string
+	completed int
+	misses    int
+	tardiness []float64
+	response  []float64
+	maxTard   float64
+}
+
+// alertEntry is one fire/resolve transition in the timeline.
+type alertEntry struct {
+	time   float64
+	kind   obs.Kind
+	detail string
+	ratio  float64
+}
+
+// offender is one row of the worst-offender table.
+type offender struct {
+	id       txn.ID
+	deadline float64
+	finish   float64
+	tard     float64
+}
+
+// RunReport is the folded run, ready to render.
+type RunReport struct {
+	opts RunOptions
+
+	events      int
+	start, end  float64
+	arrivals    int
+	completions int
+	misses      int
+	sheds       int
+	aborts      int
+	failovers   int
+
+	classes []*classStats
+	alerts  []alertEntry
+	active  map[string]bool // alert detail -> firing at stream end
+	worst   []offender
+}
+
+// GenerateRun folds a time-ordered event stream into a RunReport.
+func GenerateRun(evs []obs.Event, opts RunOptions) *RunReport {
+	if opts.Offenders <= 0 {
+		opts.Offenders = 10
+	}
+	r := &RunReport{opts: opts, active: map[string]bool{}}
+	if opts.Set != nil {
+		for i := 0; i < obs.NumWeightClasses; i++ {
+			r.classes = append(r.classes, &classStats{name: obs.ClassName(i)})
+		}
+	} else {
+		r.classes = []*classStats{{name: "all"}}
+	}
+
+	arrival := map[txn.ID]float64{}
+	r.events = len(evs)
+	if len(evs) > 0 {
+		r.start, r.end = evs[0].Time, evs[len(evs)-1].Time
+	}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.KindArrival:
+			r.arrivals++
+			arrival[ev.Txn] = ev.Time
+		case obs.KindCompletion:
+			r.completions++
+			cs := r.classFor(ev.Txn)
+			cs.completed++
+			cs.tardiness = append(cs.tardiness, ev.Tardiness)
+			if ev.Tardiness > cs.maxTard {
+				cs.maxTard = ev.Tardiness
+			}
+			if at, ok := arrival[ev.Txn]; ok {
+				cs.response = append(cs.response, ev.Time-at)
+			}
+			if ev.Tardiness > 0 {
+				cs.misses++
+				r.misses++
+				r.worst = append(r.worst, offender{
+					id: ev.Txn, deadline: ev.Deadline, finish: ev.Time, tard: ev.Tardiness,
+				})
+			}
+		case obs.KindShed:
+			r.sheds++
+		case obs.KindAbort:
+			r.aborts++
+		case obs.KindFailover:
+			r.failovers++
+		case obs.KindAlertFire, obs.KindAlertResolve:
+			r.alerts = append(r.alerts, alertEntry{time: ev.Time, kind: ev.Kind, detail: ev.Detail, ratio: ev.Deadline})
+			r.active[ev.Detail] = ev.Kind == obs.KindAlertFire
+		case obs.KindDispatch, obs.KindPreempt, obs.KindDeadlineMiss,
+			obs.KindRestart, obs.KindAging, obs.KindModeSwitch, obs.KindStall,
+			obs.KindDegradeEnter, obs.KindDegradeExit, obs.KindEject,
+			obs.KindRecover, obs.KindRoute, obs.KindValidateFail,
+			obs.KindConflictDefer:
+			// Intermediate scheduling transitions; the report summarizes
+			// outcomes, not the decision trace.
+		}
+	}
+
+	// Worst offenders: by tardiness descending, ties by ID for determinism.
+	sort.SliceStable(r.worst, func(i, j int) bool {
+		if r.worst[i].tard != r.worst[j].tard {
+			return r.worst[i].tard > r.worst[j].tard
+		}
+		return r.worst[i].id < r.worst[j].id
+	})
+	if len(r.worst) > opts.Offenders {
+		r.worst = r.worst[:opts.Offenders]
+	}
+	return r
+}
+
+// classFor maps a transaction to its stats bucket.
+func (r *RunReport) classFor(id txn.ID) *classStats {
+	if r.opts.Set == nil {
+		return r.classes[0]
+	}
+	if int(id) >= 0 && int(id) < r.opts.Set.Len() {
+		return r.classes[obs.WeightClassIndex(r.opts.Set.Txns[id].Weight)]
+	}
+	return r.classes[len(r.classes)-1]
+}
+
+// runPercentile returns the exact nearest-rank p-quantile of sorted, or 0
+// for an empty slice.
+func runPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Render produces the markdown report.
+func (r *RunReport) Render() string {
+	var b strings.Builder
+	title := r.opts.Title
+	if title == "" {
+		title = "Run report"
+	}
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	fmt.Fprintf(&b, "- events: %d spanning t=%s .. t=%s\n", r.events, runF(r.start), runF(r.end))
+	fmt.Fprintf(&b, "- transactions: %d arrived, %d completed, %d missed their deadline\n",
+		r.arrivals, r.completions, r.misses)
+	if r.sheds > 0 || r.aborts > 0 || r.failovers > 0 {
+		fmt.Fprintf(&b, "- robustness: %d shed, %d aborts, %d failovers\n", r.sheds, r.aborts, r.failovers)
+	}
+	b.WriteString("\n")
+
+	r.renderClasses(&b)
+	r.renderBudget(&b)
+	r.renderAlerts(&b)
+	r.renderOffenders(&b)
+	return b.String()
+}
+
+func (r *RunReport) renderClasses(b *strings.Builder) {
+	b.WriteString("## Per-class percentiles\n\n")
+	b.WriteString("| class | n | miss% | tard p50 | tard p95 | tard p99 | tard max | resp p50 | resp p95 | resp p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, cs := range r.classes {
+		sort.Float64s(cs.tardiness)
+		sort.Float64s(cs.response)
+		missPct := 0.0
+		if cs.completed > 0 {
+			missPct = 100 * float64(cs.misses) / float64(cs.completed)
+		}
+		fmt.Fprintf(b, "| %s | %d | %.1f | %s | %s | %s | %s | %s | %s | %s |\n",
+			cs.name, cs.completed, missPct,
+			runF(runPercentile(cs.tardiness, 0.50)),
+			runF(runPercentile(cs.tardiness, 0.95)),
+			runF(runPercentile(cs.tardiness, 0.99)),
+			runF(cs.maxTard),
+			runF(runPercentile(cs.response, 0.50)),
+			runF(runPercentile(cs.response, 0.95)),
+			runF(runPercentile(cs.response, 0.99)))
+	}
+	b.WriteString("\n")
+}
+
+// renderBudget prices each class's misses against its miss-ratio target.
+func (r *RunReport) renderBudget(b *strings.Builder) {
+	if r.opts.Spec == nil || r.opts.Set == nil {
+		return
+	}
+	b.WriteString("## Error-budget spend\n\n")
+	b.WriteString("| class | target miss% | allowed misses | misses | budget used |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for i, cs := range r.classes {
+		tgt := r.opts.Spec.Classes[i]
+		if tgt.MissRatio <= 0 {
+			fmt.Fprintf(b, "| %s | - | - | %d | no objective |\n", cs.name, cs.misses)
+			continue
+		}
+		allowed := tgt.MissRatio * float64(cs.completed)
+		used := "0%"
+		if allowed > 0 {
+			used = fmt.Sprintf("%.0f%%", 100*float64(cs.misses)/allowed)
+		} else if cs.misses > 0 {
+			used = "inf"
+		}
+		fmt.Fprintf(b, "| %s | %.1f | %.1f | %d | %s |\n",
+			cs.name, 100*tgt.MissRatio, allowed, cs.misses, used)
+	}
+	b.WriteString("\n")
+}
+
+func (r *RunReport) renderAlerts(b *strings.Builder) {
+	b.WriteString("## Alert timeline\n\n")
+	if len(r.alerts) == 0 {
+		b.WriteString("No SLO alerts in the stream (engine off, or no objective breached).\n\n")
+		return
+	}
+	b.WriteString("| t | transition | rule | burn ratio |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, a := range r.alerts {
+		verb := "FIRE"
+		if a.kind == obs.KindAlertResolve {
+			verb = "resolve"
+		}
+		fmt.Fprintf(b, "| %s | %s | %s | %.2f |\n", runF(a.time), verb, a.detail, a.ratio)
+	}
+	// Alerts still firing at stream end, in deterministic (sorted) order.
+	var open []string
+	//lint:ignore maprange collected details are sorted immediately below
+	for detail, firing := range r.active {
+		if firing {
+			open = append(open, detail)
+		}
+	}
+	sort.Strings(open)
+	if len(open) > 0 {
+		fmt.Fprintf(b, "\nStill firing at stream end: %s\n", strings.Join(open, ", "))
+	}
+	b.WriteString("\n")
+}
+
+func (r *RunReport) renderOffenders(b *strings.Builder) {
+	b.WriteString("## Worst offenders\n\n")
+	if len(r.worst) == 0 {
+		b.WriteString("No transaction missed its deadline.\n")
+		return
+	}
+	b.WriteString("| txn | deadline | finish | tardiness |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, o := range r.worst {
+		fmt.Fprintf(b, "| %d | %s | %s | %s |\n", o.id, runF(o.deadline), runF(o.finish), runF(o.tard))
+	}
+}
+
+// runF renders a float with fixed precision so reports are byte-stable.
+func runF(v float64) string {
+	return fmt.Sprintf("%.3f", v)
+}

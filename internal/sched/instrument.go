@@ -398,10 +398,10 @@ func (s *innerSink) Emit(ev obs.Event) {
 	case obs.KindAbort, obs.KindRestart, obs.KindStall, obs.KindShed,
 		obs.KindDegradeEnter, obs.KindDegradeExit,
 		obs.KindRoute, obs.KindFailover, obs.KindEject, obs.KindRecover,
-		obs.KindValidateFail:
-		// Fault-, cluster- and contention-layer kinds are counted by their
-		// recorders at their emission site (the sim/executor/cluster event
-		// loop); pass them through unchanged.
+		obs.KindValidateFail, obs.KindAlertFire, obs.KindAlertResolve:
+		// Fault-, cluster-, contention- and SLO-layer kinds are counted by
+		// their recorders/engines at their emission site (the
+		// sim/executor/cluster event loop); pass them through unchanged.
 	default:
 		panic("sched: innerSink received unknown event kind")
 	}

@@ -73,6 +73,7 @@ func NewCluster(cfg cluster.Config, set *txn.Set, opts cluster.FleetOptions) *Cl
 	s.fleet = cluster.NewFleet(cfg, set, opts)
 
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/fleet", s.handleFleet)
 	s.mux.HandleFunc("POST /api/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
@@ -151,18 +152,30 @@ func (s *ClusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFleet serves GET /api/fleet: the aggregate SLO rollup of the fleet —
+// per-instance burn ratios, error-budget remainders and alert counts next to
+// each fault domain's circuit-breaker state. Enabled is false when the run
+// carries no SLO configuration (docs/OBSERVABILITY.md, "SLOs and alerting").
+func (s *ClusterServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.fleet.Health())
+}
+
 // clusterHealthPayload is the cluster /healthz response document: the
-// circuit-breaker state of every fault domain.
+// circuit-breaker state of every fault domain, plus the fleet SLO rollup's
+// degradation verdict when SLOs are configured.
 type clusterHealthPayload struct {
 	Status    string                   `json:"status"` // "ok" | "degraded"
 	Healthy   int                      `json:"healthy"`
+	Burning   bool                     `json:"burning,omitempty"`
 	Instances []cluster.InstanceStatus `json:"instances"`
 }
 
 // handleHealth serves GET /healthz with per-instance detail. The whole-fleet
-// view is 503 "degraded" only when no instance accepts work; ?instance=N
-// narrows to one fault domain, 503 when that instance is ejected — the probe
-// a per-instance load balancer check would use.
+// view is 503 "degraded" when no instance accepts work, or — with SLOs
+// configured — when any instance is burning its fast error-budget window
+// (cluster.FleetHealth.Degraded); ?instance=N narrows to one fault domain,
+// 503 when that instance is ejected — the probe a per-instance load balancer
+// check would use.
 func (s *ClusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fs := s.fleet.Status()
 	if raw := r.URL.Query().Get("instance"); raw != "" {
@@ -185,7 +198,10 @@ func (s *ClusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 		p.Instances = []cluster.InstanceStatus{}
 		p.Healthy = s.instances
 	}
-	if p.Healthy == 0 {
+	if fh := s.fleet.Health(); fh.Enabled && fh.Degraded {
+		p.Burning = true
+	}
+	if p.Healthy == 0 || p.Burning {
 		p.Status = "degraded"
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}

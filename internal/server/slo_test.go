@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/sched"
+	"repro/internal/slo"
+	"repro/internal/workload"
+)
+
+// sloServerConfig is the SLO configuration both server fixtures share: the
+// default 5% miss-ratio objective over 50-unit tumbling windows.
+func sloServerConfig() *slo.Config {
+	return &slo.Config{Spec: slo.DefaultSpec(), Window: 20}
+}
+
+// TestServerSLOAlertsLive replays an overloaded workload under a FakeClock
+// with the SLO engine attached through executor.Options and checks the alert
+// transitions reach every observable surface the server composes: the event
+// ring (/events), the span builder's input stream, and /metrics.
+func TestServerSLOAlertsLive(t *testing.T) {
+	cfg := workload.Default(1.4, 11).WithWeights()
+	cfg.N = 120
+	set := workload.MustGenerate(cfg)
+	s := New(core.New(), set, &cfg, executor.Options{
+		TimeScale: time.Millisecond,
+		Clock:     executor.NewFakeClock(time.Unix(0, 0)),
+		SLO:       sloServerConfig(),
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	runToCompletion(t, s)
+
+	events, _ := getBody(t, ts.URL+"/events?limit="+strconv.Itoa(eventRing))
+	if !strings.Contains(events, `"kind": "alert_fire"`) {
+		t.Fatal("no alert_fire event in the server's event ring")
+	}
+
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`asets_slo_burn_ratio{class="light"}`,
+		`asets_slo_error_budget_remaining{class="light"}`,
+		"asets_slo_alert_fires_total",
+		"asets_slo_alerts_active",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestServerSLOInvalidConfigSurfacesFromRun pins where a bad SLO spec lands:
+// New must not panic, and the error surfaces from the replay exactly like an
+// invalid fault plan.
+func TestServerSLOInvalidConfigSurfacesFromRun(t *testing.T) {
+	cfg := workload.Default(0.7, 3)
+	cfg.N = 10
+	set := workload.MustGenerate(cfg)
+	s := New(core.New(), set, &cfg, executor.Options{
+		Clock: executor.NewFakeClock(time.Unix(0, 0)),
+		SLO:   &slo.Config{Spec: slo.DefaultSpec(), Window: -1},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	select {
+	case <-mustStart(t, s, ctx):
+	case <-ctx.Done():
+		t.Fatal("replay did not finish in time")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("invalid SLO window surfaced as %v", err)
+	}
+}
+
+// testSLOClusterServer builds a two-instance fleet that burns every class's
+// error budget (1.4 utilization per instance), with per-instance SLO engines
+// attached and an instant FakeClock replay.
+func testSLOClusterServer(t *testing.T) (*ClusterServer, *httptest.Server) {
+	t.Helper()
+	cfg := workload.Default(2.8, 0x51FE)
+	cfg.N = 150
+	cfg = cfg.WithWeights()
+	set := workload.MustGenerate(cfg)
+	ccfg := cluster.Config{
+		Instances:    2,
+		NewScheduler: sched.NewEDF,
+		SLO:          sloServerConfig(),
+	}
+	s := NewCluster(ccfg, set, cluster.FleetOptions{
+		TimeScale: time.Millisecond,
+		Clock:     executor.NewFakeClock(time.Unix(0, 0)),
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestClusterFleetEndpoint checks GET /api/fleet end to end: disabled (with
+// no SLO config) it reports Enabled false; on an overloaded SLO-configured
+// fleet it serves the aggregate rollup with per-instance detail, and the
+// aggregate /healthz degrades to 503 while the fleet burns.
+func TestClusterFleetEndpoint(t *testing.T) {
+	// No SLO configuration: the endpoint answers 200 with Enabled false.
+	_, plain := testClusterServer(t)
+	var off cluster.FleetHealth
+	getJSON(t, plain.URL+"/api/fleet", &off)
+	if off.Enabled || len(off.Instances) != 0 {
+		t.Fatalf("fleet health without SLO config = %+v", off)
+	}
+
+	s, ts := testSLOClusterServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done, err := s.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		t.Fatal("fleet replay did not finish in time")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fh cluster.FleetHealth
+	getJSON(t, ts.URL+"/api/fleet", &fh)
+	if !fh.Enabled || !fh.Done {
+		t.Fatalf("fleet health not enabled/done: %+v", fh)
+	}
+	if len(fh.Instances) != 2 {
+		t.Fatalf("fleet health carries %d instances, want 2", len(fh.Instances))
+	}
+	if fh.Fires == 0 || fh.WorstBurn <= 0 {
+		t.Fatalf("overloaded fleet reports no burn: %+v", fh)
+	}
+	for i, ih := range fh.Instances {
+		if ih.Index != i || len(ih.SLO.Classes) == 0 {
+			t.Fatalf("instance health %d malformed: %+v", i, ih)
+		}
+	}
+
+	// Sustained overload: the run ends with fast windows still burning, so
+	// the aggregate probe must be degraded even though every instance's
+	// circuit breaker is closed.
+	if !fh.Degraded {
+		t.Fatalf("overloaded fleet not degraded at run end: %+v", fh)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("burning fleet /healthz status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"burning": true`) {
+		t.Fatalf("burning fleet /healthz body %s", body)
+	}
+
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`asets_slo_burn_ratio{class="light",inst="0"}`,
+		`asets_slo_burn_ratio{class="light",inst="1"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	events, _ := getBody(t, ts.URL+"/events?limit="+strconv.Itoa(eventRing))
+	if !strings.Contains(events, `"kind": "alert_fire"`) {
+		t.Fatal("no alert_fire event in the cluster server's event ring")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/slo"
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -86,6 +87,14 @@ type Config struct {
 	// render latency exceeds it counts as abandoned (0 disables the
 	// bound). Only RunClosedLoop consults it.
 	Patience float64
+	// SLO, when non-nil, evaluates the run against per-class objectives:
+	// the event stream is folded through an slo.Engine whose
+	// alert_fire/alert_resolve transitions are injected into Sink in
+	// stream order at tumbling-window boundaries, and whose gauges
+	// register in Metrics (docs/OBSERVABILITY.md, "SLOs and alerting").
+	// Requires a Sink or a Metrics registry to be observable. Open-loop
+	// runs only.
+	SLO *slo.Config
 }
 
 // servers validates and defaults the server count. The validation runs on
@@ -111,6 +120,8 @@ func (c Config) servers() (int, error) {
 // contract the parallel runner enforces).
 type Sim struct {
 	cfg Config
+
+	sloState *slo.State // captured after the last Run when cfg.SLO is set
 }
 
 // New returns a Sim bound to cfg. Configuration errors (negative server
@@ -119,6 +130,12 @@ type Sim struct {
 func New(cfg Config) *Sim {
 	return &Sim{cfg: cfg}
 }
+
+// SLOState returns the per-class SLO evaluation of the most recent Run, or
+// nil when Config.SLO is unset (or before the first Run). The state is the
+// engine's final snapshot: alert counts, burn ratios and error-budget
+// remainders per class (docs/OBSERVABILITY.md, "SLOs and alerting").
+func (e *Sim) SLOState() *slo.State { return e.sloState }
 
 // completionEpsilon absorbs float64 error when a slice boundary lands
 // numerically on a completion instant.
@@ -169,10 +186,24 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		}
 	}
 	set.ResetAll()
+	// The SLO engine wraps the configured sink so it sees the event stream
+	// exactly as emitted and injects alert transitions in stream order;
+	// everything downstream of here (instrumentation, recorders) emits
+	// through the wrapper.
+	sink := cfg.Sink
+	var sloSink *slo.Sink
+	if cfg.SLO != nil {
+		if err := cfg.SLO.Validate(); err != nil {
+			//lint:ignore hotpath-alloc cold error exit during pre-loop setup
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		sloSink = slo.NewSink(slo.NewEngine(*cfg.SLO, cfg.Metrics), set, sink)
+		sink = sloSink
+	}
 	// The instrumentation wrapper covers every policy at the decision-loop
 	// boundary; with neither a sink nor a registry it is a no-op returning
 	// s itself, so uninstrumented runs pay nothing.
-	s = sched.Instrument(s, cfg.Sink, cfg.Metrics)
+	s = sched.Instrument(s, sink, cfg.Metrics)
 	s.Init(set)
 	var rec *fault.Recorder
 	if inj != nil || ctrl != nil {
@@ -180,7 +211,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 		// event entry, so its outage/shedding events stay interleaved with
 		// the decision-loop events in true emission order even though
 		// delivery to the sinks is batched.
-		rec = fault.NewRecorder(sched.EventSink(s, cfg.Sink), cfg.Metrics)
+		rec = fault.NewRecorder(sched.EventSink(s, sink), cfg.Metrics)
 	}
 	// A workload with read/write sets switches on the contention model:
 	// commit-time validation with re-execution replaces the injector's
@@ -189,7 +220,7 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	val := contention.NewValidator(set)
 	var crec *contention.Recorder
 	if val != nil {
-		crec = contention.NewRecorder(sched.EventSink(s, cfg.Sink), cfg.Metrics)
+		crec = contention.NewRecorder(sched.EventSink(s, sink), cfg.Metrics)
 	}
 
 	// Arrival order: by time, ties by ID for determinism.
@@ -489,6 +520,13 @@ func (e *Sim) Run(set *txn.Set, s sched.Scheduler) (*metrics.Summary, error) {
 	// batch.
 	if fl, ok := s.(sched.ObsFlusher); ok {
 		fl.FlushObs()
+	}
+	if sloSink != nil {
+		// Final gauge publication; the open partial window is never
+		// evaluated (the slo package's determinism contract).
+		sloSink.Engine().Finish()
+		st := sloSink.Engine().State()
+		e.sloState = &st
 	}
 	summary, err := metrics.Compute(set, busy)
 	if err != nil {

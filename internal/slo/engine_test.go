@@ -1,0 +1,288 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testConfig is a small, fast geometry: 10-unit windows, 2-window fast burn,
+// 4-window slow burn, threshold 2, resolve after 2 healthy windows.
+func testConfig(spec Spec) Config {
+	return Config{
+		Spec: spec, Window: 10, FastWindows: 2, SlowWindows: 4,
+		Threshold: 2, ResolveHold: 2,
+	}
+}
+
+func burnOnly(target float64) Spec {
+	var s Spec
+	for i := range s.Classes {
+		s.Classes[i].MissRatio = target
+	}
+	return s
+}
+
+// alerts filters the collected stream down to alert transitions.
+func alerts(col *obs.Collector) []obs.Event {
+	var out []obs.Event
+	for _, ev := range col.Events() {
+		if ev.Kind == obs.KindAlertFire || ev.Kind == obs.KindAlertResolve {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		check   func(Spec) bool
+	}{
+		{"default", false, func(s Spec) bool { return s.Classes[0].MissRatio == 0.05 }},
+		{"miss=0.1", false, func(s Spec) bool {
+			return s.Classes[0].MissRatio == 0.1 && s.Classes[2].MissRatio == 0.1
+		}},
+		{"heavy:miss=0.01", false, func(s Spec) bool {
+			return s.Classes[2].MissRatio == 0.01 && s.Classes[0].MissRatio == 0
+		}},
+		{"miss=0.1;heavy:miss=0.01,p95=5", false, func(s Spec) bool {
+			return s.Classes[0].MissRatio == 0.1 && s.Classes[2].MissRatio == 0.01 &&
+				s.Classes[2].TardinessP95 == 5
+		}},
+		{"*:p99=200,queue=50", false, func(s Spec) bool {
+			return s.Classes[1].ResponseP99 == 200 && s.Classes[1].QueueBound == 50
+		}},
+		{"", true, nil},
+		{"miss", true, nil},
+		{"miss=0", true, nil},
+		{"miss=1.5", true, nil},
+		{"bogus=1", true, nil},
+		{"giant:miss=0.1", true, nil},
+		{"miss=abc", true, nil},
+		{";", true, nil},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", tc.in, spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if !tc.check(spec) {
+			t.Errorf("ParseSpec(%q): unexpected spec %+v", tc.in, spec)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(burnOnly(0.1))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Spec: burnOnly(0.1), Window: -1},
+		{Spec: burnOnly(0.1), FastWindows: 5, SlowWindows: 3},
+		{Spec: burnOnly(0.1), FastWindows: 4, SlowWindows: 4},
+		{Spec: burnOnly(0.1), Threshold: 0.5},
+		{Spec: burnOnly(0.1), ResolveHold: -1},
+		{}, // no rule enabled
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestBurnFireResolve drives the burn rule through a full fire/resolve
+// cycle: hot windows burn the budget at 5x target, then healthy windows
+// clear it after the hysteresis hold.
+func TestBurnFireResolve(t *testing.T) {
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(burnOnly(0.1)), nil)
+	eng.Bind(col)
+
+	// Three hot windows: 10 completions each, half of them missing.
+	// Window miss ratio 0.5 => burn 5 >= threshold 2 on both windows.
+	tick := 0.0
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 10; i++ {
+			eng.Advance(tick)
+			eng.Arrive(0)
+			tard := 0.0
+			if i%2 == 0 {
+				tard = 3
+			}
+			eng.Complete(0, tard, 5)
+			tick++
+		}
+	}
+	eng.Advance(tick) // t=30: close window 2
+	got := alerts(col)
+	if len(got) != 1 || got[0].Kind != obs.KindAlertFire {
+		t.Fatalf("want one alert_fire after hot windows, got %+v", got)
+	}
+	if got[0].Detail != "light/burn" {
+		t.Fatalf("alert detail = %q, want light/burn", got[0].Detail)
+	}
+	if got[0].Time != 10 {
+		// Both windows of the fast burn are covered by the first closed
+		// window early in the run, so the alert fires at the first
+		// boundary — the lead-time property the bench gate checks.
+		t.Fatalf("alert fired at t=%v, want 10", got[0].Time)
+	}
+	if st := eng.State(); st.ActiveAlerts != 1 || !st.Burning {
+		t.Fatalf("state after fire = %+v", st)
+	}
+
+	// Healthy windows: completions with no misses until the fast window
+	// drains and the resolve hold elapses.
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 10; i++ {
+			eng.Advance(tick)
+			eng.Arrive(0)
+			eng.Complete(0, 0, 5)
+			tick++
+		}
+	}
+	eng.Advance(tick)
+	got = alerts(col)
+	if len(got) != 2 || got[1].Kind != obs.KindAlertResolve {
+		t.Fatalf("want fire then resolve, got %+v", got)
+	}
+	if got[1].Time <= got[0].Time {
+		t.Fatalf("resolve at t=%v does not follow fire at t=%v", got[1].Time, got[0].Time)
+	}
+	st := eng.State()
+	if st.ActiveAlerts != 0 || st.Fires != 1 || st.Resolves != 1 {
+		t.Fatalf("state after resolve = %+v", st)
+	}
+}
+
+// TestCeilingRule exercises the p95-tardiness ceiling: it fires only after
+// FastWindows consecutive breached windows, so a single bad window pages
+// nobody.
+func TestCeilingRule(t *testing.T) {
+	var spec Spec
+	spec.Classes[0].TardinessP95 = 5
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(spec), nil)
+	eng.Bind(col)
+
+	bad := func(start float64) {
+		for i := 0; i < 8; i++ {
+			eng.Advance(start + float64(i))
+			eng.Arrive(0)
+			eng.Complete(0, 20, 25) // p95 tardiness 20 > ceiling 5
+		}
+	}
+	good := func(start float64) {
+		for i := 0; i < 8; i++ {
+			eng.Advance(start + float64(i))
+			eng.Arrive(0)
+			eng.Complete(0, 0, 5)
+		}
+	}
+
+	bad(0)
+	good(10)
+	eng.Advance(30)
+	if got := alerts(col); len(got) != 0 {
+		t.Fatalf("one bad window must not fire, got %+v", got)
+	}
+	bad(30)
+	bad(40)
+	eng.Advance(50)
+	got := alerts(col)
+	if len(got) != 1 || got[0].Kind != obs.KindAlertFire || got[0].Detail != "light/p95_tardiness" {
+		t.Fatalf("want p95_tardiness fire after two bad windows, got %+v", got)
+	}
+}
+
+// TestQueueRule exercises queue-boundedness: backlog above the bound at
+// consecutive window boundaries fires; draining resolves.
+func TestQueueRule(t *testing.T) {
+	var spec Spec
+	spec.Classes[2].QueueBound = 3
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(spec), nil)
+	eng.Bind(col)
+
+	for i := 0; i < 8; i++ {
+		eng.Advance(float64(i))
+		eng.Arrive(2)
+	}
+	eng.Advance(30) // boundaries at 10, 20, 30 all see backlog 8 > 3
+	got := alerts(col)
+	if len(got) != 1 || got[0].Detail != "heavy/queue" {
+		t.Fatalf("want heavy/queue fire, got %+v", got)
+	}
+	for i := 0; i < 8; i++ {
+		eng.Complete(2, 0, 1)
+	}
+	eng.Advance(60)
+	got = alerts(col)
+	if len(got) != 2 || got[1].Kind != obs.KindAlertResolve {
+		t.Fatalf("want queue resolve after drain, got %+v", got)
+	}
+}
+
+// TestInstanceEngine checks the fleet labeling: detail prefixes and inst
+// gauge labels keep per-instance engines distinct in one registry.
+func TestInstanceEngine(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := &obs.Collector{}
+	cfg := testConfig(burnOnly(0.1))
+	cfg.Instance = "3"
+	eng := NewEngine(cfg, reg)
+	eng.Bind(col)
+	for i := 0; i < 10; i++ {
+		eng.Advance(float64(i))
+		eng.Arrive(1)
+		eng.Complete(1, 1, 2) // every completion misses
+	}
+	eng.Advance(10)
+	got := alerts(col)
+	if len(got) != 1 || got[0].Detail != "3:medium/burn" {
+		t.Fatalf("want instance-prefixed detail, got %+v", got)
+	}
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `asets_slo_burn_ratio{class="medium",inst="3"}`) {
+		t.Fatalf("missing inst-labeled burn gauge in:\n%s", out)
+	}
+	if strings.Contains(out, "# TYPE asets_slo_burn_ratio{") {
+		t.Fatalf("labeled gauge leaked its label block into a TYPE header:\n%s", out)
+	}
+}
+
+// TestStatePartialWindow: the open partial window is never evaluated, so a
+// run shorter than one window produces no alerts and no closed windows.
+func TestStatePartialWindow(t *testing.T) {
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(burnOnly(0.1)), nil)
+	eng.Bind(col)
+	for i := 0; i < 5; i++ {
+		eng.Advance(float64(i))
+		eng.Arrive(0)
+		eng.Complete(0, 2, 3)
+	}
+	eng.Finish()
+	if got := alerts(col); len(got) != 0 {
+		t.Fatalf("partial window fired alerts: %+v", got)
+	}
+	if st := eng.State(); st.Windows != 0 {
+		t.Fatalf("windows = %d, want 0", st.Windows)
+	}
+}

@@ -1,0 +1,112 @@
+package slo
+
+import (
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// Sink folds the decision-event stream of one run into an Engine while
+// forwarding every event downstream unchanged. Window boundaries are
+// detected from event timestamps (simulated time), and any alert
+// transitions are injected into the downstream stream *before* the first
+// event of the new window — so the merged stream stays time-ordered and a
+// fixed-seed run yields a byte-identical stream including alerts.
+//
+// The sink implements the full obs sink contract (Sink, SharedSink,
+// BatchSink); its per-event fold is allocation-free, so wrapping a run's
+// sink chain with it keeps the PR 7 observability budgets intact.
+type Sink struct {
+	eng     *Engine
+	em      *obs.Emitter
+	classOf []int8
+	arrival []float64
+}
+
+// NewSink wraps down with SLO evaluation for the transactions of set. The
+// engine's alert output is bound to down as well, so alerts ride exactly
+// the sinks the run's events do. Events whose Txn is outside set (e.g.
+// live-submitted transactions) are forwarded but not evaluated, matching
+// the span layer's behaviour.
+//
+//lint:coldpath sink construction happens once at run wiring time
+func NewSink(eng *Engine, set *txn.Set, down obs.Sink) *Sink {
+	s := &Sink{
+		eng:     eng,
+		em:      obs.NewEmitter(down),
+		classOf: make([]int8, len(set.Txns)),
+		arrival: make([]float64, len(set.Txns)),
+	}
+	for i := range set.Txns {
+		s.classOf[i] = int8(obs.WeightClassIndex(set.Txns[i].Weight))
+	}
+	eng.Bind(down)
+	return s
+}
+
+// Engine returns the wrapped engine, for post-run state reads.
+func (s *Sink) Engine() *Engine { return s.eng }
+
+// fold routes one event into the engine's observation counters.
+//
+//lint:hotpath
+func (s *Sink) fold(ev *obs.Event) {
+	id := ev.Txn
+	if id < 0 || int(id) >= len(s.classOf) {
+		return
+	}
+	switch ev.Kind {
+	case obs.KindArrival:
+		s.arrival[id] = ev.Time
+		s.eng.Arrive(int(s.classOf[id]))
+	case obs.KindCompletion:
+		s.eng.Complete(int(s.classOf[id]), ev.Tardiness, ev.Time-s.arrival[id])
+	case obs.KindFailover:
+		if ev.Detail == "lost" {
+			s.eng.Drop(int(s.classOf[id]))
+		}
+	case obs.KindDispatch, obs.KindPreempt, obs.KindDeadlineMiss, obs.KindShed,
+		obs.KindAbort, obs.KindRestart, obs.KindAging, obs.KindModeSwitch,
+		obs.KindStall, obs.KindDegradeEnter, obs.KindDegradeExit, obs.KindEject,
+		obs.KindRecover, obs.KindRoute, obs.KindValidateFail,
+		obs.KindConflictDefer, obs.KindAlertFire, obs.KindAlertResolve:
+		// No SLO-relevant lifecycle edge: sheds never arrived (admission
+		// rejects at arrival), misses are counted from completion tardiness,
+		// and the rest are scheduler- or controller-level transitions.
+	}
+}
+
+// Emit implements obs.Sink.
+func (s *Sink) Emit(ev obs.Event) { s.EmitShared(&ev) }
+
+// EmitShared implements obs.SharedSink: boundary evaluation (and alert
+// emission) happens before the event is folded and forwarded, keeping the
+// downstream stream time-ordered.
+//
+//lint:hotpath
+func (s *Sink) EmitShared(ev *obs.Event) {
+	s.eng.Advance(ev.Time)
+	s.fold(ev)
+	s.em.Emit(ev)
+}
+
+// EmitSharedBatch implements obs.BatchSink. When an event inside the batch
+// crosses a window boundary, the already-folded prefix is flushed
+// downstream first, then the boundary's alerts, then the rest — the exact
+// interleaving event-at-a-time emission would produce, so batched delivery
+// cannot change the stream.
+//
+//lint:hotpath
+func (s *Sink) EmitSharedBatch(evs []obs.Event) {
+	start := 0
+	for i := range evs {
+		if evs[i].Time >= s.eng.next {
+			if i > start {
+				s.em.EmitBatch(evs[start:i])
+				start = i
+			}
+			s.eng.boundaries(evs[i].Time)
+		}
+		s.fold(&evs[i])
+	}
+	s.em.EmitBatch(evs[start:])
+}

@@ -1,0 +1,142 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// buildSet returns a tiny workload whose weights are forced to one class so
+// the tests control classification exactly.
+func buildSet(t *testing.T, n int, weight float64) *txn.Set {
+	t.Helper()
+	cfg := workload.Default(0.9, 1)
+	cfg.N = n
+	set, err := workload.Spec{Config: cfg}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range set.Txns {
+		tx.Weight = weight
+	}
+	return set
+}
+
+func TestSinkInjectsAlertsInStreamOrder(t *testing.T) {
+	set := buildSet(t, 4, 1) // all light
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(burnOnly(0.1)), nil)
+	s := NewSink(eng, set, col)
+
+	// One batch spanning a window boundary: completions before t=10 all
+	// miss, so the boundary at t=10 fires the burn alert, which must land
+	// between the pre-boundary and post-boundary events.
+	batch := []obs.Event{
+		{Time: 1, Kind: obs.KindArrival, Txn: 0, Workflow: -1},
+		{Time: 2, Kind: obs.KindArrival, Txn: 1, Workflow: -1},
+		{Time: 3, Kind: obs.KindDispatch, Txn: 0, Workflow: -1},
+		{Time: 5, Kind: obs.KindCompletion, Txn: 0, Workflow: -1, Tardiness: 2},
+		{Time: 6, Kind: obs.KindDispatch, Txn: 1, Workflow: -1},
+		{Time: 9, Kind: obs.KindCompletion, Txn: 1, Workflow: -1, Tardiness: 1},
+		{Time: 12, Kind: obs.KindArrival, Txn: 2, Workflow: -1},
+		{Time: 13, Kind: obs.KindDispatch, Txn: 2, Workflow: -1},
+		{Time: 14, Kind: obs.KindCompletion, Txn: 2, Workflow: -1},
+	}
+	s.EmitSharedBatch(batch)
+	evs := col.Events()
+	fireIdx := -1
+	for i, ev := range evs {
+		if ev.Kind == obs.KindAlertFire {
+			fireIdx = i
+		}
+	}
+	if fireIdx < 0 {
+		t.Fatalf("no alert_fire in stream: %+v", evs)
+	}
+	fire := evs[fireIdx]
+	if fire.Time != 10 || fire.Detail != "light/burn" {
+		t.Fatalf("fire = %+v, want t=10 light/burn", fire)
+	}
+	if evs[fireIdx-1].Time > fire.Time || evs[fireIdx+1].Time < fire.Time {
+		t.Fatalf("alert out of time order: %+v", evs[fireIdx-1:fireIdx+2])
+	}
+	// The stream including the injected alert must satisfy the lifecycle
+	// validator (alerts carry no per-transaction obligations).
+	if err := obs.Validate(evs); err != nil {
+		t.Fatalf("stream with alerts fails validation: %v", err)
+	}
+}
+
+// TestSinkBatchMatchesSingle: folding a stream event-at-a-time and as one
+// batch must produce byte-identical downstream streams, alerts included.
+func TestSinkBatchMatchesSingle(t *testing.T) {
+	mk := func() []obs.Event {
+		var evs []obs.Event
+		tick := 0.0
+		for w := 0; w < 6; w++ {
+			for i := 0; i < 4; i++ {
+				id := txn.ID(w*4 + i)
+				evs = append(evs,
+					obs.Event{Time: tick, Kind: obs.KindArrival, Txn: id, Workflow: -1},
+					obs.Event{Time: tick + 1, Kind: obs.KindDispatch, Txn: id, Workflow: -1},
+					obs.Event{Time: tick + 2, Kind: obs.KindCompletion, Txn: id, Workflow: -1, Tardiness: float64(w % 2)},
+				)
+				tick += 2.5
+			}
+		}
+		return evs
+	}
+	render := func(batched bool) []byte {
+		set := buildSet(t, 24, 9) // all heavy
+		col := &obs.Collector{}
+		eng := NewEngine(testConfig(burnOnly(0.1)), nil)
+		s := NewSink(eng, set, col)
+		evs := mk()
+		if batched {
+			s.EmitSharedBatch(evs)
+		} else {
+			for i := range evs {
+				s.EmitShared(&evs[i])
+			}
+		}
+		var buf bytes.Buffer
+		for _, ev := range col.Events() {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	single := render(false)
+	batched := render(true)
+	if !bytes.Equal(single, batched) {
+		t.Fatalf("batched delivery changed the stream:\nsingle:\n%s\nbatched:\n%s", single, batched)
+	}
+	if !bytes.Contains(single, []byte("alert_fire")) {
+		t.Fatalf("expected at least one alert in the stream:\n%s", single)
+	}
+}
+
+// TestSinkIgnoresForeignTxns: events outside the workload set (live
+// submissions) are forwarded but not evaluated.
+func TestSinkIgnoresForeignTxns(t *testing.T) {
+	set := buildSet(t, 2, 1)
+	col := &obs.Collector{}
+	eng := NewEngine(testConfig(burnOnly(0.1)), nil)
+	s := NewSink(eng, set, col)
+	s.Emit(obs.Event{Time: 1, Kind: obs.KindArrival, Txn: 99, Workflow: -1})
+	s.Emit(obs.Event{Time: 2, Kind: obs.KindCompletion, Txn: 99, Workflow: -1, Tardiness: 5})
+	if got := len(col.Events()); got != 2 {
+		t.Fatalf("foreign events not forwarded: %d", got)
+	}
+	if st := eng.State(); len(st.Classes) > 0 && st.Classes[0].Completed != 0 {
+		t.Fatalf("foreign completion was counted: %+v", st)
+	}
+}

@@ -27,8 +27,8 @@ if [ "${1:-}" = "short" ]; then
     # /api/*) against a live replay — including the fault-injection hammer,
     # which shares the admission controller between the submit gate and the
     # replay goroutine. Both hammers are small and fast.
-    echo "== go test -race (endpoint + fault + pooled-event + contention hammers)"
-    go test -race -run Hammer ./internal/server ./internal/obs ./internal/contention
+    echo "== go test -race (endpoint + fault + pooled-event + contention + slo hammers)"
+    go test -race -run Hammer ./internal/server ./internal/obs ./internal/contention ./internal/slo
 else
     echo "== go test"
     go test ./...
@@ -66,5 +66,9 @@ cat BENCH_cluster.json
 echo "== contention benchmark (conflict-aware wins + determinism gate)"
 go run ./cmd/asetsbench -contention-bench BENCH_contention.json -n 400 -seeds 3
 cat BENCH_contention.json
+
+echo "== slo benchmark (alert lead time + determinism + alloc gate)"
+go run ./cmd/asetsbench -slo-bench BENCH_slo.json -n 300 -seeds 2
+cat BENCH_slo.json
 
 echo "all checks passed"
